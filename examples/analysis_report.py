@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Instrumenting a run with the analysis toolkit.
+
+Drives an AFC network through a load ramp while a time-series probe
+samples mode residency and EWMA intensity, then prints the full
+simulation report: latency histogram, mode statistics, energy
+breakdown, and link-balance summary.
+
+Run:  python examples/analysis_report.py
+"""
+
+from repro import Design, Network, NetworkConfig
+from repro.analysis import TimeSeriesProbe, simulation_report
+from repro.traffic.synthetic import uniform_random_traffic
+
+RAMP = ((0.1, 1_200), (0.5, 1_500), (0.75, 1_500), (0.2, 1_500))
+
+
+def sparkline(values, width=60):
+    """Tiny ASCII sparkline for a 0..1 series."""
+    glyphs = " .:-=+*#%@"
+    step = max(1, len(values) // width)
+    cells = []
+    for i in range(0, len(values), step):
+        v = max(0.0, min(1.0, values[i]))
+        cells.append(glyphs[round(v * (len(glyphs) - 1))])
+    return "".join(cells)
+
+
+def main() -> None:
+    net = Network(NetworkConfig(), Design.AFC, seed=1)
+    probe = TimeSeriesProbe(net, every=60)
+    probe.add_builtin_afc_metrics()
+    probe.add("throughput", lambda n: n.stats.throughput)
+
+    net.begin_measurement()
+    for rate, cycles in RAMP:
+        traffic = uniform_random_traffic(
+            net, rate, seed=7, source_queue_limit=300
+        )
+        probe.run(cycles, tick=traffic.tick)
+
+    print("load ramp:", " -> ".join(f"{r}" for r, _ in RAMP))
+    print()
+    print("backpressured fraction over time (one char per sample):")
+    print(" ", sparkline(probe.series["backpressured_fraction"]))
+    ewma = probe.series["mean_ewma"]
+    peak = max(ewma) or 1.0
+    print("mean EWMA intensity (scaled to peak = %.2f):" % peak)
+    print(" ", sparkline([v / peak for v in ewma]))
+    print()
+    print(simulation_report(net))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Consolidation workload with spatial load variation (Section V-B).
+
+Recreates the paper's open-loop spatial-variation experiment on an 8x8
+mesh: a different "application" runs in each quadrant — one hot quadrant
+injecting 0.9 flits/node/cycle, three cold quadrants injecting 0.1 —
+with destinations confined to the source's quadrant.
+
+What to look for in the output:
+
+* AFC is the best *energy* configuration: its hot-quadrant routers
+  switch to backpressured mode while the cold three-quarters of the chip
+  keep their buffers power-gated.  Neither pure design can do both.
+* Backpressureless routing leaks misrouted flits across the quadrant
+  boundary ("spillover" links that XY quadrant-local traffic never
+  uses).
+* The per-quadrant mode map shows AFC's routers adapting spatially.
+
+Run:  python examples/consolidation_workload.py
+"""
+
+from repro import Design, Mode, Network, NetworkConfig
+from repro.core.afc_router import AfcRouter
+from repro.traffic.patterns import QuadrantLocal
+from repro.traffic.synthetic import OpenLoopSource
+
+HOT_RATE = 0.9
+COLD_RATE = 0.1
+WARMUP = 1_500
+MEASURE = 4_000
+
+
+def spillover(net) -> int:
+    """Flit traversals on links leaving the hot quadrant — misrouted
+    traffic, since quadrant-local XY routes never cross the boundary."""
+    mesh = net.mesh
+    return sum(
+        ch.flit_traversals
+        for ch in net.channels
+        if mesh.quadrant(ch.upstream) == 0
+        and mesh.quadrant(ch.downstream) != 0
+    )
+
+
+def mode_map(net) -> str:
+    """ASCII map of AFC router modes ('B' = backpressured, '.' =
+    backpressureless, 't' = in transition)."""
+    glyphs = {
+        Mode.BACKPRESSURED: "B",
+        Mode.BACKPRESSURELESS: ".",
+        Mode.TRANSITION: "t",
+    }
+    lines = []
+    for y in range(net.mesh.height):
+        row = []
+        for x in range(net.mesh.width):
+            router = net.router(net.mesh.node_at(x, y))
+            row.append(
+                glyphs[router.mode] if isinstance(router, AfcRouter) else "?"
+            )
+        lines.append(" ".join(row))
+    return "\n".join(lines)
+
+
+def main() -> None:
+    config = NetworkConfig(width=8, height=8)
+    mesh = config.mesh
+    rates = [
+        HOT_RATE if mesh.quadrant(n) == 0 else COLD_RATE
+        for n in range(mesh.num_nodes)
+    ]
+    print(
+        f"8x8 mesh: quadrant 0 at {HOT_RATE}, quadrants 1-3 at "
+        f"{COLD_RATE} flits/node/cycle, quadrant-local destinations\n"
+    )
+
+    results = {}
+    for design in (
+        Design.BACKPRESSURED,
+        Design.BACKPRESSURELESS,
+        Design.AFC,
+    ):
+        net = Network(config, design, seed=1)
+        source = OpenLoopSource(
+            net,
+            rates,
+            pattern=QuadrantLocal(mesh),
+            seed=3,
+            source_queue_limit=400,
+        )
+        source.run(WARMUP)
+        net.begin_measurement()
+        spill_before = spillover(net)
+        source.run(MEASURE)
+
+        stats = net.stats
+        energy = net.measured_energy()
+        hot_nodes = mesh.quadrant_nodes(0)
+        hot_count = sum(stats.per_node_completed[n] for n in hot_nodes)
+        hot_latency = (
+            sum(stats.per_node_latency_sum[n] for n in hot_nodes)
+            / max(1, hot_count)
+        )
+        results[design] = dict(
+            energy=energy.total / max(1, stats.flits_ejected),
+            hot_latency=hot_latency,
+            spill=spillover(net) - spill_before,
+        )
+        if design is Design.AFC:
+            print("AFC mode map after the run (hot quadrant = top-left):")
+            print(mode_map(net))
+            print()
+
+    afc_energy = results[Design.AFC]["energy"]
+    print(
+        f"{'design':20s} {'energy/flit':>12s} {'vs AFC':>8s} "
+        f"{'hot-quad latency':>17s} {'spillover':>10s}"
+    )
+    for design, r in results.items():
+        print(
+            f"{design.value:20s} {r['energy']:12.1f} "
+            f"{r['energy'] / afc_energy:8.2f} {r['hot_latency']:17.1f} "
+            f"{r['spill']:10d}"
+        )
+    print(
+        "\nAFC wins on energy because no single fixed flow control suits "
+        "both quadrant\nloads at once — the paper's robustness argument "
+        "in one experiment."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Open-loop latency/throughput sweep with ASCII curves.
+
+Sweeps uniform-random injection rates for the three router designs and
+plots accepted throughput and latency against offered load — the
+classic NoC characterisation, and the paper's "Other results": equal
+latency at low loads, backpressureless saturating first, AFC tracking
+the backpressured router's saturation throughput.
+
+Run:  python examples/latency_throughput_sweep.py
+"""
+
+from repro import Design, Network, NetworkConfig
+from repro.traffic.synthetic import uniform_random_traffic
+
+RATES = [round(0.1 * i, 1) for i in range(1, 10)]
+DESIGNS = (Design.BACKPRESSURED, Design.BACKPRESSURELESS, Design.AFC)
+WARMUP = 1_500
+MEASURE = 4_000
+
+
+def sweep(design):
+    points = []
+    for rate in RATES:
+        net = Network(NetworkConfig(), design, seed=1)
+        traffic = uniform_random_traffic(
+            net, rate, seed=2, source_queue_limit=400
+        )
+        traffic.run(WARMUP)
+        net.begin_measurement()
+        traffic.run(MEASURE)
+        points.append(
+            (rate, net.stats.throughput, net.stats.avg_network_latency)
+        )
+    return points
+
+
+def ascii_curve(points, width=46, max_latency=60.0):
+    """One bar per offered rate, length ~ latency, label = throughput."""
+    lines = []
+    for rate, throughput, latency in points:
+        bar = "#" * min(width, int(width * latency / max_latency))
+        lines.append(
+            f"  {rate:4.1f} | {bar:<{width}s} lat={latency:6.1f} "
+            f"thr={throughput:.3f}"
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    curves = {design: sweep(design) for design in DESIGNS}
+    for design, points in curves.items():
+        print(f"{design.value} (offered -> latency bar, accepted throughput)")
+        print(ascii_curve(points))
+        saturation = max(t for _, t, _ in points)
+        print(f"  saturation throughput ~ {saturation:.3f} flits/node/cycle\n")
+
+    sat = {
+        d: max(t for _, t, _ in pts) for d, pts in curves.items()
+    }
+    print("Summary (the paper's 'Other results'):")
+    print(
+        f"  backpressureless saturates at "
+        f"{sat[Design.BACKPRESSURELESS] / sat[Design.BACKPRESSURED]:.2f}x "
+        "the backpressured throughput,"
+    )
+    print(
+        f"  while AFC reaches "
+        f"{sat[Design.AFC] / sat[Design.BACKPRESSURED]:.2f}x — "
+        "near-identical saturation."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: build a network, drive it, read the results.
+
+Builds one 3x3 network per flow-control design, offers identical
+uniform-random traffic to each, and prints the latency/energy summary —
+a two-minute tour of the public API:
+
+* :class:`repro.NetworkConfig` — Table II's system configuration;
+* :class:`repro.Network` — the simulated mesh for one design;
+* :class:`repro.traffic.synthetic.OpenLoopSource` — synthetic traffic;
+* ``net.stats`` / ``net.measured_energy()`` — results.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Design, Network, NetworkConfig
+from repro.traffic.synthetic import uniform_random_traffic
+
+WARMUP_CYCLES = 1_000
+MEASURE_CYCLES = 4_000
+RATE = 0.30  # flits/node/cycle — a moderate load
+
+
+def main() -> None:
+    config = NetworkConfig()  # the paper's 3x3 mesh, 2-cycle links
+    print(
+        f"{config.width}x{config.height} mesh, "
+        f"{config.link_latency}-cycle links, "
+        f"offered load {RATE} flits/node/cycle\n"
+    )
+    header = (
+        f"{'design':28s} {'latency':>9s} {'hops':>6s} "
+        f"{'deflect%':>9s} {'energy/flit':>12s}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for design in Design:
+        net = Network(config, design, seed=1)
+        traffic = uniform_random_traffic(net, RATE, seed=2)
+
+        traffic.run(WARMUP_CYCLES)
+        net.begin_measurement()
+        traffic.run(MEASURE_CYCLES)
+
+        stats = net.stats
+        energy = net.measured_energy()
+        per_flit = energy.total / max(1, stats.flits_ejected)
+        print(
+            f"{design.value:28s} {stats.avg_network_latency:9.1f} "
+            f"{stats.avg_hops:6.2f} {100 * stats.deflection_rate:9.2f} "
+            f"{per_flit:12.1f}"
+        )
+
+    print(
+        "\nAt this low-to-moderate load every design delivers similar "
+        "latency, but the\nbufferless designs (backpressureless, AFC in "
+        "its backpressureless mode) spend\nfar less energy per flit — "
+        "the paper's Figure 2(b) in miniature."
+    )
+
+
+if __name__ == "__main__":
+    main()

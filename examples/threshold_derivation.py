@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Derive AFC's contention thresholds at design time (Section III-B).
+
+The paper's thresholds (corner 1.8/1.2, edge 2.1/1.3, center 2.2/1.7)
+were "experimentally-determined ... based solely on network loading".
+This example reruns that design-time experiment with the library's
+derivation tool — first finding the load where deflection routing stops
+being worth it, then measuring the traffic intensity each router class
+sees there — and compares the derived table with the paper's, including
+a derivation for an 8x8 mesh the paper never published numbers for.
+
+Run:  python examples/threshold_derivation.py
+"""
+
+from repro import NetworkConfig, RouterClass
+from repro.core.threshold_search import derive_thresholds_empirically
+from repro.network.config import DEFAULT_THRESHOLDS
+
+
+def show(title, derivation, reference=None):
+    print(title)
+    print(
+        f"  derived at switch load {derivation.switch_rate:.2f} "
+        "flits/node/cycle"
+    )
+    print(f"  {'class':8s} {'high':>6s} {'low':>6s}  {'paper (3x3)':>12s}")
+    for cls in RouterClass:
+        pair = derivation.thresholds[cls]
+        ref = ""
+        if reference is not None:
+            ref_pair = reference[cls]
+            ref = f"{ref_pair.high:.1f}/{ref_pair.low:.1f}"
+        print(
+            f"  {cls.name.lower():8s} {pair.high:6.2f} {pair.low:6.2f}  "
+            f"{ref:>12s}"
+        )
+    print()
+
+
+def main() -> None:
+    print(
+        "Deriving AFC thresholds empirically (crossover search + "
+        "intensity probe)...\n"
+    )
+    d3 = derive_thresholds_empirically(NetworkConfig(), seeds=1)
+    show("3x3 mesh (the paper's configuration):", d3, DEFAULT_THRESHOLDS)
+
+    d8 = derive_thresholds_empirically(
+        NetworkConfig(width=8, height=8), switch_rate=0.5, seeds=1
+    )
+    show("8x8 mesh (derived for the spatial-variation topology):", d8)
+
+    print(
+        "The derived values are higher than the paper's published table "
+        "because the\nlatency-crossover criterion switches later than "
+        "the paper's (more\nconservative, energy-oriented) operating "
+        "point; pass switch_rate= to derive\na table for any chosen "
+        "point.  Class ordering (corner < edge < center) and\nthe "
+        "hysteresis structure always match."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""repro — a reproduction of "Adaptive Flow Control for Robust
+Performance and Energy" (MICRO 2010).
+
+A from-scratch, cycle-level on-chip-network simulator with three router
+designs (credit-based backpressured, deflection-based backpressureless,
+and the paper's adaptive AFC), an Orion-style energy model, synthetic
+open-loop traffic, and a closed-loop memory-system substrate standing in
+for the paper's Simics/GEMS full-system setup.
+
+Quick start::
+
+    from repro import Design, Network, NetworkConfig
+
+    config = NetworkConfig()
+    net = Network(config, Design.AFC, seed=1)
+    # drive it with repro.traffic generators or repro.memsys clients
+    net.run(20_000)
+    print(net.stats.avg_packet_latency)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from .core.afc_router import AfcRouter
+from .core.mode_controller import Mode, ModeController
+from .energy.model import (
+    DEFAULT_ENERGY_PARAMETERS,
+    EnergyBreakdown,
+    EnergyParameters,
+    OrionEnergyMeter,
+)
+from .network.config import (
+    ContentionThresholds,
+    Design,
+    MachineConfig,
+    NetworkConfig,
+)
+from .network.flit import Flit, Packet, VirtualNetwork, make_packet
+from .network.stats import StatsCollector
+from .network.topology import Direction, Mesh, RouterClass
+from .routers.backpressured import BackpressuredRouter
+from .routers.backpressureless import BackpressurelessRouter
+from .simulation import Network
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AfcRouter",
+    "BackpressuredRouter",
+    "BackpressurelessRouter",
+    "ContentionThresholds",
+    "DEFAULT_ENERGY_PARAMETERS",
+    "Design",
+    "Direction",
+    "EnergyBreakdown",
+    "EnergyParameters",
+    "Flit",
+    "MachineConfig",
+    "Mesh",
+    "Mode",
+    "ModeController",
+    "Network",
+    "NetworkConfig",
+    "OrionEnergyMeter",
+    "Packet",
+    "RouterClass",
+    "StatsCollector",
+    "VirtualNetwork",
+    "make_packet",
+    "__version__",
+]

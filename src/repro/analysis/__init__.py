@@ -1,0 +1,43 @@
+"""Post-processing and instrumentation utilities.
+
+* :mod:`repro.analysis.histogram` — latency distributions and ASCII
+  rendering;
+* :mod:`repro.analysis.probes` — in-simulation time-series sampling
+  (throughput, mode residency, per-router EWMA, channel utilization);
+* :mod:`repro.analysis.report` — one-call summary report for a finished
+  simulation;
+* :mod:`repro.analysis.analytic` — closed-form latency and saturation
+  models that cross-validate the simulator's timing.
+"""
+
+from .analytic import (
+    SaturationBound,
+    estimated_latency,
+    mean_uniform_hops,
+    per_hop_latency,
+    uniform_saturation_bound,
+    xy_channel_loads,
+    zero_load_flit_latency,
+    zero_load_packet_latency,
+)
+from .histogram import Histogram, build_histogram, latency_histogram
+from .probes import ChannelUtilization, TimeSeriesProbe, channel_utilization
+from .report import simulation_report
+
+__all__ = [
+    "ChannelUtilization",
+    "Histogram",
+    "SaturationBound",
+    "TimeSeriesProbe",
+    "build_histogram",
+    "channel_utilization",
+    "estimated_latency",
+    "latency_histogram",
+    "mean_uniform_hops",
+    "per_hop_latency",
+    "simulation_report",
+    "uniform_saturation_bound",
+    "xy_channel_loads",
+    "zero_load_flit_latency",
+    "zero_load_packet_latency",
+]

@@ -1,0 +1,122 @@
+"""Closed-form cross-checks for the simulator.
+
+Simple analytical models with exact closed forms validate that the
+simulator's timing is what it claims to be:
+
+* zero-load latency is fully determined by the pipeline (Table I):
+  ``hops * (1 + L)`` per flit plus source serialisation for multi-flit
+  packets — the simulator must match these *exactly* at zero load;
+* uniform-random saturation is bounded by the most-loaded channel under
+  XY routing, computed exactly by walking every (src, dst) pair's path —
+  the simulator's measured saturation must stay below this bound and,
+  for an efficient router, land reasonably close to it.
+
+These checks guard against silent timing regressions: any extra pipeline
+bubble or double-counted cycle breaks an equality rather than nudging a
+statistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..network.config import NetworkConfig
+from ..network.routing import xy_route
+from ..network.topology import Direction, Mesh
+
+
+def per_hop_latency(config: NetworkConfig) -> int:
+    """Cycles per hop at zero load: switch traversal (1) + link (L);
+    arbitration and buffer write overlap per Table I."""
+    return 1 + config.link_latency
+
+
+def zero_load_flit_latency(config: NetworkConfig, hops: int) -> int:
+    """Injection-to-ejection latency of a lone flit over ``hops``."""
+    if hops < 0:
+        raise ValueError("hops must be non-negative")
+    return hops * per_hop_latency(config)
+
+
+def zero_load_packet_latency(
+    config: NetworkConfig, hops: int, num_flits: int
+) -> int:
+    """Completion latency of a lone packet: the last flit leaves the
+    source ``num_flits - 1`` cycles after the first (1 flit/cycle
+    injection), then traverses the path."""
+    if num_flits < 1:
+        raise ValueError("packets have at least one flit")
+    return (num_flits - 1) + zero_load_flit_latency(config, hops)
+
+
+def mean_uniform_hops(mesh: Mesh) -> float:
+    """Exact mean minimal hop count under uniform-random traffic
+    (destination uniform over all nodes except the source)."""
+    total = 0
+    count = 0
+    for src in range(mesh.num_nodes):
+        for dst in range(mesh.num_nodes):
+            if src == dst:
+                continue
+            total += mesh.hop_distance(src, dst)
+            count += 1
+    return total / count
+
+
+def xy_channel_loads(mesh: Mesh) -> Dict[Tuple[int, Direction], float]:
+    """Expected traversals per channel per injected flit under XY
+    routing and uniform-random traffic, computed exactly by walking
+    every (src, dst) path."""
+    loads: Dict[Tuple[int, Direction], float] = {}
+    pairs = mesh.num_nodes * (mesh.num_nodes - 1)
+    weight = 1.0 / pairs
+    for src in range(mesh.num_nodes):
+        for dst in range(mesh.num_nodes):
+            if src == dst:
+                continue
+            node = src
+            while node != dst:
+                port = xy_route(mesh, node, dst)
+                loads[(node, port)] = loads.get((node, port), 0.0) + weight
+                node = mesh.neighbor(node, port)
+    return loads
+
+
+@dataclass(frozen=True)
+class SaturationBound:
+    """Channel-load saturation bound for uniform-random XY traffic."""
+
+    #: Max sustainable injection (flits/node/cycle): no network can
+    #: exceed it, since the bottleneck channel carries one flit/cycle.
+    max_injection_rate: float
+    #: The bottleneck channel (node, output direction).
+    bottleneck: Tuple[int, Direction]
+    #: Expected traversals of the bottleneck per injected flit per node.
+    bottleneck_load: float
+
+
+def uniform_saturation_bound(mesh: Mesh) -> SaturationBound:
+    """Saturation bound: with aggregate injection ``N * lambda``
+    flits/cycle, the bottleneck channel sees
+    ``N * lambda * load`` flits/cycle and can carry at most one."""
+    loads = xy_channel_loads(mesh)
+    (node, port), load = max(loads.items(), key=lambda item: item[1])
+    return SaturationBound(
+        max_injection_rate=1.0 / (mesh.num_nodes * load),
+        bottleneck=(node, port),
+        bottleneck_load=load,
+    )
+
+
+def estimated_latency(
+    config: NetworkConfig, hops: float, utilization: float
+) -> float:
+    """A coarse M/D/1-style latency estimate: zero-load latency scaled
+    by per-hop queueing ``rho / (2 (1 - rho))``.  Useful for sanity
+    envelopes, not precision (the simulator is the precise model)."""
+    if not 0.0 <= utilization < 1.0:
+        raise ValueError("utilization must be in [0, 1)")
+    base = hops * per_hop_latency(config)
+    queueing = hops * (utilization / (2.0 * (1.0 - utilization)))
+    return base + queueing

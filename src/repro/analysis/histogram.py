@@ -1,0 +1,103 @@
+"""Latency histograms.
+
+Mean latency hides the tail that deflection routing creates (a few
+flits misroute many times); a histogram makes the difference between
+flow-control disciplines visible.  Bins are linear with a configurable
+width; the ASCII rendering is deliberately dependency-free.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..network.stats import StatsCollector
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """A binned distribution with summary statistics."""
+
+    bin_width: int
+    counts: List[int]
+    total: int
+    minimum: float
+    maximum: float
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+
+    def bin_range(self, index: int) -> tuple:
+        """Closed-open value range covered by bin ``index``."""
+        return index * self.bin_width, (index + 1) * self.bin_width
+
+    def render(self, width: int = 50, max_rows: int = 20) -> str:
+        """ASCII bars, one row per (possibly merged) bin."""
+        if not self.total:
+            return "(empty histogram)"
+        counts = self.counts
+        merge = max(1, math.ceil(len(counts) / max_rows))
+        rows = []
+        peak = 0
+        merged: List[tuple] = []
+        for start in range(0, len(counts), merge):
+            chunk = counts[start:start + merge]
+            count = sum(chunk)
+            lo = start * self.bin_width
+            hi = (start + len(chunk)) * self.bin_width
+            merged.append((lo, hi, count))
+            peak = max(peak, count)
+        for lo, hi, count in merged:
+            bar = "#" * (round(width * count / peak) if peak else 0)
+            rows.append(f"  [{lo:5d},{hi:5d}) {count:7d} {bar}")
+        rows.append(
+            f"  n={self.total} mean={self.mean:.1f} p50={self.p50:.0f} "
+            f"p95={self.p95:.0f} p99={self.p99:.0f} max={self.maximum:.0f}"
+        )
+        return "\n".join(rows)
+
+
+def build_histogram(values: Sequence[float], bin_width: int = 8) -> Histogram:
+    """Bin ``values`` (e.g. packet latencies) into a :class:`Histogram`."""
+    if bin_width <= 0:
+        raise ValueError("bin width must be positive")
+    if not values:
+        return Histogram(
+            bin_width=bin_width,
+            counts=[],
+            total=0,
+            minimum=0.0,
+            maximum=0.0,
+            mean=0.0,
+            p50=0.0,
+            p95=0.0,
+            p99=0.0,
+        )
+    ordered = sorted(values)
+    top_bin = int(ordered[-1] // bin_width)
+    counts = [0] * (top_bin + 1)
+    for value in values:
+        counts[int(value // bin_width)] += 1
+
+    def percentile(pct: float) -> float:
+        idx = min(len(ordered) - 1, max(0, int(len(ordered) * pct / 100.0)))
+        return float(ordered[idx])
+
+    return Histogram(
+        bin_width=bin_width,
+        counts=counts,
+        total=len(values),
+        minimum=float(ordered[0]),
+        maximum=float(ordered[-1]),
+        mean=sum(values) / len(values),
+        p50=percentile(50),
+        p95=percentile(95),
+        p99=percentile(99),
+    )
+
+
+def latency_histogram(stats: StatsCollector, bin_width: int = 8) -> Histogram:
+    """Histogram of the measurement window's packet latencies."""
+    return build_histogram(stats.latencies, bin_width=bin_width)

@@ -1,0 +1,142 @@
+"""In-simulation instrumentation.
+
+:class:`TimeSeriesProbe` samples named metrics at a fixed interval
+while a simulation runs (mode residency over time, per-router EWMA,
+accepted throughput, ...) — the data behind plots like this paper's
+duty-cycle discussion.  :func:`channel_utilization` summarises how
+evenly the link load is spread, which is where deflection routing's
+misroutes show up spatially.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.afc_router import AfcRouter
+from ..core.mode_controller import Mode
+from ..simulation import Network
+
+
+class TimeSeriesProbe:
+    """Periodic sampling of arbitrary metrics over a running network.
+
+    Register metrics as callables of the network, then interleave
+    :meth:`maybe_sample` with the simulation loop (or use :meth:`run`,
+    which drives both)::
+
+        probe = TimeSeriesProbe(net, every=100)
+        probe.add("throughput", lambda n: n.stats.throughput)
+        probe.add_builtin_afc_metrics()
+        probe.run(5_000, tick=traffic.tick)
+        probe.series["backpressured_fraction"]
+    """
+
+    def __init__(self, network: Network, every: int = 100) -> None:
+        if every <= 0:
+            raise ValueError("sampling interval must be positive")
+        self.network = network
+        self.every = every
+        self.cycles: List[int] = []
+        self.series: Dict[str, List[float]] = {}
+        self._metrics: Dict[str, Callable[[Network], float]] = {}
+        self._last_sample = network.cycle - every  # sample immediately
+
+    def add(self, name: str, metric: Callable[[Network], float]) -> None:
+        if name in self._metrics:
+            raise ValueError(f"metric {name!r} already registered")
+        self._metrics[name] = metric
+        self.series[name] = []
+
+    def add_builtin_afc_metrics(self) -> None:
+        """Instantaneous mode residency and mean EWMA of AFC routers."""
+
+        def backpressured_fraction(net: Network) -> float:
+            routers = [
+                r for r in net.routers if isinstance(r, AfcRouter)
+            ]
+            if not routers:
+                return 0.0
+            in_bp = sum(
+                1 for r in routers if r.mode is Mode.BACKPRESSURED
+            )
+            return in_bp / len(routers)
+
+        def mean_ewma(net: Network) -> float:
+            routers = [
+                r for r in net.routers if isinstance(r, AfcRouter)
+            ]
+            if not routers:
+                return 0.0
+            return sum(r.ewma_load for r in routers) / len(routers)
+
+        self.add("backpressured_fraction", backpressured_fraction)
+        self.add("mean_ewma", mean_ewma)
+
+    # -- sampling ------------------------------------------------------------
+    def maybe_sample(self) -> bool:
+        """Sample if the interval elapsed; returns True when sampled."""
+        if self.network.cycle - self._last_sample < self.every:
+            return False
+        self._last_sample = self.network.cycle
+        self.cycles.append(self.network.cycle)
+        for name, metric in self._metrics.items():
+            self.series[name].append(metric(self.network))
+        return True
+
+    def run(
+        self,
+        cycles: int,
+        tick: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Drive the network ``cycles`` cycles, sampling on the way;
+        ``tick`` (e.g. a traffic source's tick) runs before each step."""
+        for _ in range(cycles):
+            self.maybe_sample()
+            if tick is not None:
+                tick()
+            self.network.step()
+        self.maybe_sample()
+
+    def __len__(self) -> int:
+        return len(self.cycles)
+
+
+@dataclass(frozen=True)
+class ChannelUtilization:
+    """Link-load summary for one simulation."""
+
+    total_traversals: int
+    mean_per_channel: float
+    max_per_channel: int
+    min_per_channel: int
+    #: Coefficient of variation — higher means more spatial imbalance.
+    imbalance: float
+    per_channel: Dict[str, int] = field(default_factory=dict)
+
+
+def channel_utilization(network: Network) -> ChannelUtilization:
+    """Summarise flit traversals across all channels (cumulative since
+    network construction)."""
+    counts = [ch.flit_traversals for ch in network.channels]
+    if not counts:
+        raise ValueError("network has no channels")
+    total = sum(counts)
+    mean = total / len(counts)
+    if mean > 0:
+        variance = sum((c - mean) ** 2 for c in counts) / len(counts)
+        imbalance = variance ** 0.5 / mean
+    else:
+        imbalance = 0.0
+    per_channel = {
+        f"{ch.upstream}->{ch.downstream}": ch.flit_traversals
+        for ch in network.channels
+    }
+    return ChannelUtilization(
+        total_traversals=total,
+        mean_per_channel=mean,
+        max_per_channel=max(counts),
+        min_per_channel=min(counts),
+        imbalance=imbalance,
+        per_channel=per_channel,
+    )

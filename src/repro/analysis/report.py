@@ -1,0 +1,70 @@
+"""One-call textual summary of a finished simulation."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..energy.model import OrionEnergyMeter
+from ..simulation import Network
+from .histogram import latency_histogram
+from .probes import channel_utilization
+
+
+def simulation_report(network: Network, histogram_bins: int = 8) -> str:
+    """A human-readable summary: traffic, latency distribution, mode
+    residency (AFC), energy breakdown and link balance."""
+    stats = network.stats
+    lines: List[str] = [
+        f"design: {network.design.value} on "
+        f"{network.mesh.width}x{network.mesh.height} mesh, "
+        f"cycle {network.cycle} (measured {stats.cycles})",
+        "",
+        "traffic:",
+        f"  injected {stats.flits_injected} flits "
+        f"({stats.injection_rate:.3f}/node/cycle), delivered "
+        f"{stats.flits_ejected} ({stats.throughput:.3f}/node/cycle)",
+        f"  packets completed {stats.packets_completed}, "
+        f"avg hops/flit {stats.avg_hops:.2f}, "
+        f"deflection rate {100 * stats.deflection_rate:.2f}%"
+        + (
+            f", drops {stats.flits_dropped}"
+            if stats.flits_dropped
+            else ""
+        ),
+        "",
+        "packet latency (cycles):",
+        latency_histogram(stats, bin_width=histogram_bins).render(),
+    ]
+    if stats.mode_stats:
+        modes = stats.mode_stats.values()
+        lines += [
+            "",
+            "AFC modes:",
+            f"  backpressured fraction "
+            f"{stats.network_backpressured_fraction:.3f}; switches: "
+            f"{sum(m.forward_switches for m in modes)} forward, "
+            f"{sum(m.reverse_switches for m in modes)} reverse, "
+            f"{stats.total_gossip_switches} gossip-induced",
+        ]
+    if isinstance(network.energy, OrionEnergyMeter):
+        energy = network.measured_energy()
+        if energy.total > 0:
+            lines += [
+                "",
+                "energy (measured window):",
+                f"  total {energy.total / 1e3:.2f} nJ — buffer "
+                f"{100 * energy.buffer / energy.total:.1f}%, link "
+                f"{100 * energy.link / energy.total:.1f}%, other "
+                f"{100 * energy.other / energy.total:.1f}%",
+            ]
+    utilization = channel_utilization(network)
+    lines += [
+        "",
+        "links:",
+        f"  {utilization.total_traversals} traversals, mean "
+        f"{utilization.mean_per_channel:.1f}/channel "
+        f"(max {utilization.max_per_channel}, min "
+        f"{utilization.min_per_channel}, imbalance "
+        f"{utilization.imbalance:.2f})",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,233 @@
+"""Command-line interface.
+
+Four subcommands cover the common experiments without writing code::
+
+    python -m repro run --design afc --workload apache
+    python -m repro compare --workload ocean --seeds 2
+    python -m repro sweep --rates 0.2 0.4 0.6 0.8
+    python -m repro derive-thresholds --rate 0.7
+
+All cycle counts are short by default so the CLI answers in seconds;
+raise ``--warmup/--measure/--seeds`` for publication-grade runs (the
+benchmark harness under ``benchmarks/`` does this automatically).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .core.threshold_search import derive_thresholds_empirically
+from .harness.experiment import ExperimentRunner, MAIN_DESIGNS
+from .harness.reporting import format_normalized_table, format_table
+from .network.config import Design, NetworkConfig
+from .traffic.workloads import WORKLOADS
+
+
+def _design(value: str) -> Design:
+    try:
+        return Design(value)
+    except ValueError:
+        choices = ", ".join(d.value for d in Design)
+        raise argparse.ArgumentTypeError(
+            f"unknown design {value!r}; choose from: {choices}"
+        )
+
+
+def _workload(value: str):
+    try:
+        return WORKLOADS[value]
+    except KeyError:
+        choices = ", ".join(sorted(WORKLOADS))
+        raise argparse.ArgumentTypeError(
+            f"unknown workload {value!r}; choose from: {choices}"
+        )
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--width", type=int, default=3, help="mesh width")
+    parser.add_argument("--height", type=int, default=3, help="mesh height")
+    parser.add_argument(
+        "--warmup", type=int, default=2_000, help="warmup cycles"
+    )
+    parser.add_argument(
+        "--measure", type=int, default=6_000, help="measured cycles"
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=1, help="independent runs to average"
+    )
+
+
+def _runner(args: argparse.Namespace) -> ExperimentRunner:
+    config = NetworkConfig(width=args.width, height=args.height)
+    return ExperimentRunner(
+        config=config,
+        warmup_cycles=args.warmup,
+        measure_cycles=args.measure,
+        seeds=args.seeds,
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = _runner(args).run_closed_loop(args.design, args.workload)
+    rows = [
+        ["performance (txn/kcycle/core)", f"{result.performance:.3f}"],
+        ["energy per transaction (pJ)", f"{result.energy_per_txn:.1f}"],
+        ["injection rate (flits/node/cycle)", f"{result.injection_rate:.3f}"],
+        ["avg packet latency (cycles)", f"{result.avg_packet_latency:.1f}"],
+        ["avg miss latency (cycles)", f"{result.avg_miss_latency:.1f}"],
+        ["backpressured fraction", f"{result.backpressured_fraction:.3f}"],
+        ["forward / reverse switches",
+         f"{result.forward_switches:.1f} / {result.reverse_switches:.1f}"],
+    ]
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=f"{args.design.value} on {args.workload.name} "
+            f"({args.seeds} seed(s))",
+        )
+    )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    runner = _runner(args)
+    results = {
+        design: runner.run_closed_loop(design, args.workload)
+        for design in MAIN_DESIGNS
+    }
+    perf = {args.workload.name: {d: r.performance for d, r in results.items()}}
+    energy = {
+        args.workload.name: {d: r.energy_per_txn for d, r in results.items()}
+    }
+    print(format_normalized_table("performance", perf, MAIN_DESIGNS))
+    print()
+    print(
+        format_normalized_table(
+            "energy/txn", energy, MAIN_DESIGNS, higher_is_better=False
+        )
+    )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    runner = _runner(args)
+    designs = args.designs or [
+        Design.BACKPRESSURED,
+        Design.BACKPRESSURELESS,
+        Design.AFC,
+    ]
+    rows = []
+    for rate in args.rates:
+        row = [f"{rate:.2f}"]
+        for design in designs:
+            point = runner.run_open_loop(
+                design, rate, source_queue_limit=500
+            )
+            row.append(
+                f"{point.throughput:.3f} / {point.avg_network_latency:6.1f}"
+            )
+        rows.append(row)
+    print(
+        format_table(
+            ["offered"] + [d.value for d in designs],
+            rows,
+            title="throughput (flits/node/cycle) / latency (cycles)",
+        )
+    )
+    return 0
+
+
+def _cmd_derive_thresholds(args: argparse.Namespace) -> int:
+    config = NetworkConfig(width=args.width, height=args.height)
+    result = derive_thresholds_empirically(
+        config,
+        switch_rate=args.rate,
+        hysteresis=args.hysteresis,
+        seeds=args.seeds,
+    )
+    rows = [
+        [
+            cls.name.lower(),
+            f"{pair.high:.2f}",
+            f"{pair.low:.2f}",
+            f"{result.class_intensity[cls]:.2f}",
+        ]
+        for cls, pair in result.thresholds.items()
+    ]
+    print(
+        format_table(
+            ["router class", "high", "low", "measured intensity"],
+            rows,
+            title=f"thresholds derived at switch load "
+            f"{result.switch_rate:.2f} flits/node/cycle",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "AFC (MICRO 2010) reproduction: run closed-loop workloads, "
+            "compare flow-control designs, sweep open-loop loads, or "
+            "derive AFC contention thresholds."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="one design on one workload")
+    run.add_argument("--design", type=_design, default=Design.AFC)
+    run.add_argument("--workload", type=_workload, default=WORKLOADS["apache"])
+    _add_common(run)
+    run.set_defaults(func=_cmd_run)
+
+    compare = sub.add_parser(
+        "compare", help="all Figure-2 designs on one workload"
+    )
+    compare.add_argument(
+        "--workload", type=_workload, default=WORKLOADS["apache"]
+    )
+    _add_common(compare)
+    compare.set_defaults(func=_cmd_compare)
+
+    sweep = sub.add_parser("sweep", help="open-loop uniform-random sweep")
+    sweep.add_argument(
+        "--rates",
+        type=float,
+        nargs="+",
+        default=[0.2, 0.4, 0.6, 0.8],
+        help="offered loads in flits/node/cycle",
+    )
+    sweep.add_argument(
+        "--designs", type=_design, nargs="+", default=None
+    )
+    _add_common(sweep)
+    sweep.set_defaults(func=_cmd_sweep)
+
+    derive = sub.add_parser(
+        "derive-thresholds",
+        help="design-time derivation of AFC contention thresholds",
+    )
+    derive.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="switch load (default: find the latency crossover)",
+    )
+    derive.add_argument("--hysteresis", type=float, default=0.7)
+    _add_common(derive)
+    derive.set_defaults(func=_cmd_derive_thresholds)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

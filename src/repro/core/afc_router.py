@@ -1,0 +1,421 @@
+"""The AFC router (Section III).
+
+One router, two datapaths:
+
+* **backpressureless mode** — identical behaviour to
+  :class:`~repro.routers.backpressureless.BackpressurelessRouter`
+  (randomized deflection routing, latches only, buffers power-gated),
+  except that output ports toward neighbours known to be in
+  backpressured mode are masked per virtual network by credit
+  availability, and a gossip-induced forward switch fires when such a
+  neighbour runs low on free buffers.
+* **backpressured mode** — an input-buffered router with *lazy VC
+  allocation* (:mod:`repro.core.lazy_vc`): one-flit VCs, per-vnet
+  credits, flit-by-flit routing, no VC-allocation pipeline stage.
+
+Mode switching follows :mod:`repro.core.mode_controller`.  The corner
+cases of mixed-mode neighbours (Section III-D) are handled as follows:
+
+* backpressured → backpressureless traffic needs no safeguard (a
+  deflecting router accepts everything);
+* backpressureless → backpressured traffic is credit-masked; the
+  lightweight "scalpel" is to keep deflecting while the neighbour has
+  buffer space, the "sledgehammer" is the gossip-induced switch when
+  fewer than X = 2L free slots remain;
+* if masking ever leaves a latched flit with *no* usable output port
+  (possible only when a single vnet's credits run dry before the gossip
+  switch completes), the flit is emergency-buffered into this router's
+  own input buffer and a forward switch begins immediately.  If the
+  switch notification already went out, an occupancy *debit* message
+  reconciles the upstream credit counter; the buffered flit drains
+  normally once backpressured operation starts.  This is the simulator's
+  realisation of the paper's correctness guarantee that no flit is ever
+  dropped or stranded.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..network.config import Design, NetworkConfig
+from ..network.energy_hooks import EnergyMeter
+from ..network.flit import Flit, VirtualNetwork
+from ..network.link import CreditMessage, ModeNotice, ModeNotification
+from ..network.router_base import BaseRouter
+from ..network.routing import productive_ports, xy_route
+from ..network.stats import StatsCollector
+from ..network.topology import Direction, Mesh
+from ..routers.backpressureless import allocate_deflection_ports
+from .lazy_vc import LazyInputPort, NeighborCreditState
+from .mode_controller import Mode, ModeController
+from .thresholds import thresholds_for
+
+
+class AfcRouter(BaseRouter):
+    """Adaptive flow-control router (and its always-backpressured twin)."""
+
+    def __init__(
+        self,
+        node: int,
+        config: NetworkConfig,
+        mesh: Mesh,
+        rng: random.Random,
+        stats: StatsCollector,
+        energy: Optional[EnergyMeter] = None,
+        design: Design = Design.AFC,
+    ) -> None:
+        super().__init__(node, config, mesh, rng, stats, energy)
+        if not design.is_afc_family:
+            raise ValueError(f"{design} is not an AFC design")
+        self.design = design
+        adaptive = design is Design.AFC
+        self._mode = ModeController(
+            thresholds=thresholds_for(config, self.router_class),
+            link_latency=config.link_latency,
+            load_window=config.load_window,
+            ewma_alpha=config.ewma_alpha,
+            adaptive=adaptive,
+            initial_mode=(
+                Mode.BACKPRESSURELESS if adaptive else Mode.BACKPRESSURED
+            ),
+        )
+        self._input_ports: Dict[Direction, LazyInputPort] = {}
+        self._neighbors: Dict[Direction, NeighborCreditState] = {}
+        self._latched: List[Tuple[Flit, Direction]] = []
+        #: Entry events this cycle (network arrivals + injections); the
+        #: contention metric counts a flit "traversing through the
+        #: router" once on entry and once on exit, so steady-state
+        #: intensity is twice the switch throughput.  With this
+        #: definition the paper's threshold values hold unchanged.
+        self._entries_this_cycle = 0
+        self._inject_rr = 0
+        self._grant_rr: Dict[Direction, int] = {}
+        self._finalized = False
+
+    # -- wiring -------------------------------------------------------------
+    def finalize(self) -> None:
+        if self._finalized:
+            return
+        for direction in list(self.in_channels) + [Direction.LOCAL]:
+            self._input_ports[direction] = LazyInputPort(self.config.afc_vcs)
+        for direction in self.out_channels:
+            state = NeighborCreditState(self.config.afc_vcs)
+            if self.design is Design.AFC_ALWAYS_BACKPRESSURED:
+                # The whole network is pinned backpressured; credit
+                # accounting is on from cycle zero.
+                state.start_tracking((0, 0, 0))
+            self._neighbors[direction] = state
+            self._grant_rr[direction] = 0
+        self._grant_rr[Direction.LOCAL] = 0
+        self._finalized = True
+
+    @property
+    def mode(self) -> Mode:
+        return self._mode.mode
+
+    @property
+    def ewma_load(self) -> float:
+        return self._mode.ewma
+
+    # -- receive paths -------------------------------------------------------
+    def deliver(self, cycle: int) -> None:
+        # Mode completion must precede arrival classification: a flit
+        # delivered at the first backpressured cycle is buffered.
+        self._mode.maybe_complete_forward(cycle)
+        super().deliver(cycle)
+
+    def _accept_flit(self, flit: Flit, in_port: Direction, cycle: int) -> None:
+        self._entries_this_cycle += 1
+        if self._mode.mode is Mode.BACKPRESSURED:
+            self._input_ports[in_port].insert(flit)
+            self.energy.buffer_write(self.node)
+        else:
+            self._latched.append((flit, in_port))
+            self.energy.latch(self.node)
+
+    def _accept_credit(
+        self, out_port: Direction, credit: CreditMessage, cycle: int
+    ) -> None:
+        self._neighbors[out_port].on_credit(credit.vnet, debit=credit.debit)
+
+    def _accept_mode_notice(
+        self, out_port: Direction, notice: ModeNotification, cycle: int
+    ) -> None:
+        state = self._neighbors[out_port]
+        if notice.kind is ModeNotice.START_CREDITS:
+            state.start_tracking(notice.occupied)
+        else:
+            state.stop_tracking()
+
+    # -- per-cycle operation -------------------------------------------------
+    def step(self, cycle: int) -> None:
+        self.finalize()
+        self._mode.maybe_complete_forward(cycle)
+        if self._mode.mode.deflecting:
+            dispatched = self._deflection_step(cycle)
+        else:
+            dispatched = self._backpressured_step(cycle)
+        self._mode.record_load(self._entries_this_cycle + dispatched)
+        self._entries_this_cycle = 0
+        self._adapt(cycle)
+        self._mode.tick_residency(self.stats.mode(self.node))
+
+    # -- adaptation policy -------------------------------------------------------
+    def _adapt(self, cycle: int) -> None:
+        if not self._mode.adaptive:
+            return
+        if self._mode.mode is Mode.BACKPRESSURELESS:
+            if self._gossip_pressure():
+                self._begin_forward(cycle, gossip=True)
+            elif self._mode.wants_forward():
+                self._begin_forward(cycle, gossip=False)
+        elif self._mode.mode is Mode.BACKPRESSURED:
+            if self._mode.wants_reverse(self.buffered_flits() == 0):
+                self._begin_reverse(cycle)
+
+    def _gossip_pressure(self) -> bool:
+        """True when a tracked (backpressured) neighbour's free buffers
+        fell below the gossip threshold X (Section III-D)."""
+        return any(
+            nb.tracking and nb.total_free < self.config.gossip_threshold
+            for nb in self._neighbors.values()
+        )
+
+    def _begin_forward(self, cycle: int, gossip: bool) -> None:
+        self._mode.begin_forward(cycle)
+        entry = self.stats.mode(self.node)
+        entry.forward_switches += 1
+        if gossip:
+            entry.gossip_switches += 1
+        for direction, channel in self.in_channels.items():
+            channel.send_mode_notice(
+                ModeNotification(
+                    kind=ModeNotice.START_CREDITS,
+                    occupied=self._input_ports[direction].occupied_tuple(),
+                ),
+                cycle,
+            )
+            self.energy.credit(self.node)
+
+    def _begin_reverse(self, cycle: int) -> None:
+        self._mode.begin_reverse()
+        self.stats.mode(self.node).reverse_switches += 1
+        for channel in self.in_channels.values():
+            channel.send_mode_notice(
+                ModeNotification(kind=ModeNotice.STOP_CREDITS), cycle
+            )
+            self.energy.credit(self.node)
+
+    # -- backpressureless datapath --------------------------------------------------
+    def _deflection_step(self, cycle: int) -> int:
+        resident = self._latched
+        self._latched = []
+        if len(resident) > len(self.network_ports):
+            raise RuntimeError(
+                f"deflection invariant violated at node {self.node}"
+            )
+        dispatched = 0
+        in_port_of = {id(flit): port for flit, port in resident}
+        flits = [flit for flit, _ in resident]
+
+        # 1. Ejection.
+        at_dst = [f for f in flits if f.dst == self.node]
+        self.rng.shuffle(at_dst)
+        ejected = set()
+        for flit in at_dst[: self.config.eject_bandwidth]:
+            self.stats.record_switch_traversal()
+            self._eject(flit, cycle)
+            ejected.add(id(flit))
+            dispatched += 1
+        remaining = [f for f in flits if id(f) not in ejected]
+
+        # 2. Credit-masked deflection allocation.
+        assignment, unplaced = allocate_deflection_ports(
+            self.mesh,
+            self.node,
+            self.rng,
+            remaining,
+            self.network_ports,
+            port_allowed=lambda f, p: self._neighbors[p].can_send(f.vnet),
+        )
+
+        # 3. Emergency buffering for flits with no usable port.
+        if unplaced:
+            self._emergency_buffer(unplaced, in_port_of, cycle)
+
+        # 4. Injection into a leftover free+allowed port.
+        self._deflection_inject(assignment, cycle)
+
+        # 5. Dispatch.
+        for out_port, flit in assignment.items():
+            self._neighbors[out_port].on_send(flit.vnet)
+            self.energy.arbiter(self.node)
+            self.stats.record_switch_traversal()
+            self._dispatch(flit, out_port, cycle)
+            dispatched += 1
+        return dispatched
+
+    def _emergency_buffer(
+        self,
+        unplaced: List[Flit],
+        in_port_of: Dict[int, Direction],
+        cycle: int,
+    ) -> None:
+        already_switching = self._mode.mode is Mode.TRANSITION
+        for flit in unplaced:
+            in_port = in_port_of[id(flit)]
+            self._input_ports[in_port].insert(flit)
+            self.energy.buffer_write(self.node)
+            if already_switching and in_port is not Direction.LOCAL:
+                # The forward-switch notification (and its occupancy
+                # snapshot) already went out: reconcile the upstream
+                # credit counter with a debit.
+                self.in_channels[in_port].send_credit(
+                    CreditMessage(vnet=flit.vnet, debit=True), cycle
+                )
+                self.energy.credit(self.node)
+        if not already_switching:
+            # Snapshot in the START notification includes the flits
+            # buffered above, so no debits are needed.
+            self._begin_forward(cycle, gossip=True)
+
+    def _deflection_inject(
+        self, assignment: Dict[Direction, Flit], cycle: int
+    ) -> None:
+        if self.ni is None or not self.ni.has_pending:
+            return
+        free = [p for p in self.network_ports if p not in assignment]
+        if not free:
+            return
+        vnets = list(VirtualNetwork)
+        for offset in range(len(vnets)):
+            vnet = vnets[(self._inject_rr + offset) % len(vnets)]
+            if self.ni.peek(vnet) is None:
+                continue
+            allowed = [
+                p for p in free if self._neighbors[p].can_send(vnet)
+            ]
+            if not allowed:
+                continue
+            flit = self.ni.pop(vnet, cycle)
+            chosen: Optional[Direction] = None
+            for port in productive_ports(self.mesh, self.node, flit.dst):
+                if port in allowed:
+                    chosen = port
+                    break
+            if chosen is None:
+                chosen = self.rng.choice(allowed)
+                flit.deflections += 1
+            assignment[chosen] = flit
+            self._entries_this_cycle += 1
+            self._inject_rr = (self._inject_rr + offset + 1) % len(vnets)
+            return
+
+    # -- backpressured (lazy VC) datapath ----------------------------------------------
+    def _backpressured_step(self, cycle: int) -> int:
+        self._backpressured_inject(cycle)
+        requests: Dict[Direction, List[Tuple[Direction, Flit]]] = {}
+        for in_dir, port in self._input_ports.items():
+            chosen = self._pick_ready_flit(port)
+            if chosen is None:
+                continue
+            flit, out_port = chosen
+            requests.setdefault(out_port, []).append((in_dir, flit))
+            self.energy.arbiter(self.node)
+        dispatched = 0
+        for out_port, reqs in requests.items():
+            capacity = (
+                self.config.eject_bandwidth
+                if out_port is Direction.LOCAL
+                else 1
+            )
+            for in_dir, flit in self._grant(out_port, reqs, capacity):
+                self._input_ports[in_dir].remove(flit)
+                self.energy.buffer_read(self.node)
+                self.stats.record_switch_traversal()
+                dispatched += 1
+                if out_port is Direction.LOCAL:
+                    self._eject(flit, cycle)
+                else:
+                    self._neighbors[out_port].on_send(flit.vnet)
+                    self._dispatch(flit, out_port, cycle)
+                if in_dir is not Direction.LOCAL:
+                    self.in_channels[in_dir].send_credit(
+                        CreditMessage(vnet=flit.vnet), cycle
+                    )
+                    self.energy.credit(self.node)
+        return dispatched
+
+    def _pick_ready_flit(
+        self, port: LazyInputPort
+    ) -> Optional[Tuple[Flit, Direction]]:
+        """A buffered flit whose output is usable this cycle.
+
+        Because every flit has its own one-flit VC, *any* buffered flit
+        may be served — scanning all of them is exactly the
+        HOL-blocking-avoidance lazy VC allocation buys (Section III-E).
+        Virtual networks are visited round-robin (so control packets
+        are not starved behind cache-line transfers), oldest flit first
+        within a vnet.
+        """
+        vnets = list(VirtualNetwork)
+        for offset in range(len(vnets)):
+            vnet = vnets[(port.sa_rr + offset) % len(vnets)]
+            for flit in port.flits_of(vnet):
+                out_port = xy_route(self.mesh, self.node, flit.dst)
+                if out_port is not Direction.LOCAL and not self._neighbors[
+                    out_port
+                ].can_send(flit.vnet):
+                    continue
+                port.sa_rr = (port.sa_rr + offset + 1) % len(vnets)
+                return flit, out_port
+        return None
+
+    def _backpressured_inject(self, cycle: int) -> None:
+        if self.ni is None or not self.ni.has_pending:
+            return
+        local = self._input_ports[Direction.LOCAL]
+        vnets = list(VirtualNetwork)
+        for offset in range(len(vnets)):
+            vnet = vnets[(self._inject_rr + offset) % len(vnets)]
+            if self.ni.peek(vnet) is None:
+                continue
+            if local.free_slots(vnet) <= 0:
+                continue
+            flit = self.ni.pop(vnet, cycle)
+            local.insert(flit)
+            self.energy.buffer_write(self.node)
+            self._entries_this_cycle += 1
+            self._inject_rr = (self._inject_rr + offset + 1) % len(vnets)
+            return
+
+    def _grant(
+        self,
+        out_port: Direction,
+        reqs: List[Tuple[Direction, Flit]],
+        capacity: int,
+    ) -> List[Tuple[Direction, Flit]]:
+        if len(reqs) <= capacity:
+            return reqs
+        start = self._grant_rr[out_port]
+        self._grant_rr[out_port] += capacity
+        ordered = sorted(reqs, key=lambda r: r[0].value)
+        return [ordered[(start + i) % len(ordered)] for i in range(capacity)]
+
+    # -- introspection --------------------------------------------------------
+    def buffered_flits(self) -> int:
+        if not self._finalized:
+            return 0
+        return sum(port.total_flits for port in self._input_ports.values())
+
+    def resident_flits(self) -> int:
+        return self.buffered_flits() + len(self._latched)
+
+    @property
+    def buffers_power_gated(self) -> bool:
+        """Coarse-grained power gating: the whole buffer bank is gated
+        whenever the router deflects and holds no buffered flits."""
+        return self._mode.mode is Mode.BACKPRESSURELESS and (
+            self.buffered_flits() == 0
+        )

@@ -1,0 +1,160 @@
+"""Lazy VC allocation structures (AFC mechanism 3).
+
+Section III-E: because AFC routes flit-by-flit even in backpressured
+mode, the per-packet VC rules (R1/R2) of traditional flow control are
+unnecessary.  AFC views the K-flit input buffer as K one-flit VCs,
+tracks credits per *virtual network* rather than per VC, and binds each
+arriving flit to whichever free slot receives it — a legal allocation by
+construction, discovered with a simple daisy chain and therefore off the
+critical path.  Two consequences:
+
+* VC allocation disappears as a pipeline stage (the upstream router
+  dispatches with only the virtual-network identifier);
+* no two flits ever share a VC, so duplicate-allocation HOL blocking is
+  impossible, and switch allocation may serve the port's flits in *any*
+  order.
+
+:class:`LazyInputPort` models the downstream side (the slotted buffer);
+:class:`NeighborCreditState` models the upstream side (per-vnet credit
+counters, plus AFC's start/stop credit-tracking control line).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..network.flit import Flit, VirtualNetwork
+
+
+class LazyInputPort:
+    """A bank of one-flit VCs, partitioned by virtual network.
+
+    Flits are kept in arrival order (oldest first) within each virtual
+    network.  The switch allocator round-robins across virtual networks
+    (mirroring the baseline's round-robin across VCs, so short control
+    packets are not starved behind long data transfers) and serves
+    oldest-first within one — though *any* service order would be
+    correct, which is the point of lazy allocation.
+    """
+
+    def __init__(self, vcs: Sequence[int]) -> None:
+        self.capacity: Dict[VirtualNetwork, int] = {
+            vnet: count for vnet, count in zip(VirtualNetwork, vcs)
+        }
+        self._by_vnet: Dict[VirtualNetwork, List[Flit]] = {
+            vnet: [] for vnet in VirtualNetwork
+        }
+        #: Switch-allocation round-robin pointer over virtual networks.
+        self.sa_rr = 0
+
+    # -- capacity --------------------------------------------------------------
+    def free_slots(self, vnet: VirtualNetwork) -> int:
+        return self.capacity[vnet] - len(self._by_vnet[vnet])
+
+    def occupied(self, vnet: VirtualNetwork) -> int:
+        return len(self._by_vnet[vnet])
+
+    def occupied_tuple(self) -> Tuple[int, int, int]:
+        """Per-vnet occupancy, in VirtualNetwork order (for START
+        notifications)."""
+        counts = tuple(len(self._by_vnet[vnet]) for vnet in VirtualNetwork)
+        return counts  # type: ignore[return-value]
+
+    @property
+    def total_flits(self) -> int:
+        return sum(len(flits) for flits in self._by_vnet.values())
+
+    @property
+    def empty(self) -> bool:
+        return all(not flits for flits in self._by_vnet.values())
+
+    # -- flit movement ------------------------------------------------------------
+    def insert(self, flit: Flit) -> None:
+        """Lazily allocate a free slot (VC) of the flit's vnet to it."""
+        if self.free_slots(flit.vnet) <= 0:
+            raise RuntimeError(
+                f"lazy buffer overflow on vnet {flit.vnet.name}: "
+                "per-vnet credit protocol violated"
+            )
+        self._by_vnet[flit.vnet].append(flit)
+
+    def flits(self) -> List[Flit]:
+        """All buffered flits (oldest first within each vnet)."""
+        out: List[Flit] = []
+        for flits in self._by_vnet.values():
+            out.extend(flits)
+        return out
+
+    def flits_of(self, vnet: VirtualNetwork) -> List[Flit]:
+        """Buffered flits of one vnet, oldest first (do not mutate)."""
+        return self._by_vnet[vnet]
+
+    def remove(self, flit: Flit) -> None:
+        """Free the slot occupied by ``flit`` (it won arbitration)."""
+        self._by_vnet[flit.vnet].remove(flit)
+
+
+class NeighborCreditState:
+    """Upstream-side credit view of one neighbouring input port.
+
+    ``tracking`` mirrors the neighbour's mode: it is switched on by a
+    START_CREDITS notification (carrying the neighbour's occupancy
+    snapshot) and off by STOP_CREDITS.  While tracking is off, the
+    neighbour deflects everything and ``can_send`` is unconditionally
+    true.
+    """
+
+    def __init__(self, vcs: Sequence[int]) -> None:
+        self.capacity: Dict[VirtualNetwork, int] = {
+            vnet: count for vnet, count in zip(VirtualNetwork, vcs)
+        }
+        self.tracking = False
+        self.credits: Dict[VirtualNetwork, int] = dict(self.capacity)
+
+    # -- control line ------------------------------------------------------------
+    def start_tracking(self, occupied: Tuple[int, int, int]) -> None:
+        self.tracking = True
+        for vnet, occ in zip(VirtualNetwork, occupied):
+            self.credits[vnet] = self.capacity[vnet] - occ
+            if self.credits[vnet] < 0:
+                raise RuntimeError("occupancy snapshot exceeds capacity")
+
+    def stop_tracking(self) -> None:
+        """Neighbour went backpressureless: treat the port as free
+        (the paper: 'the neighbors simply set the buffer occupancy of
+        the switched router to empty')."""
+        self.tracking = False
+        self.credits = dict(self.capacity)
+
+    # -- credit accounting -----------------------------------------------------------
+    def can_send(self, vnet: VirtualNetwork) -> bool:
+        return not self.tracking or self.credits[vnet] > 0
+
+    def on_send(self, vnet: VirtualNetwork) -> None:
+        if not self.tracking:
+            return
+        if self.credits[vnet] <= 0:
+            raise RuntimeError(f"dispatched without credit on {vnet.name}")
+        self.credits[vnet] -= 1
+
+    def on_credit(self, vnet: VirtualNetwork, debit: bool = False) -> None:
+        """Apply a credit (or occupancy debit) message.
+
+        Clamped: stale credits from before tracking started (e.g. for
+        flits the neighbour emergency-buffered while backpressureless)
+        must not push the counter past capacity, and debits cannot take
+        it below zero.
+        """
+        if not self.tracking:
+            return
+        if debit:
+            self.credits[vnet] = max(0, self.credits[vnet] - 1)
+        else:
+            self.credits[vnet] = min(
+                self.capacity[vnet], self.credits[vnet] + 1
+            )
+
+    @property
+    def total_free(self) -> int:
+        """Free slots across all vnets (the gossip-trigger metric)."""
+        return sum(self.credits.values())

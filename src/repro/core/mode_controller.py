@@ -1,0 +1,137 @@
+"""AFC mode state machine and load estimation.
+
+Each AFC router owns one :class:`ModeController`.  Every cycle the
+router reports how many flits traversed its switch; the controller
+averages that over a 4-cycle window, smooths the average with an EWMA
+(``m_new = alpha * m_old + (1 - alpha) * window_average``, alpha = 0.99,
+Section IV), and compares it against the router's hysteresis thresholds.
+
+Mode transitions (Figure 1 of the paper):
+
+* forward (backpressureless → backpressured): triggered when the EWMA
+  exceeds the high threshold, or by gossip (a backpressured neighbour's
+  free buffers fell below X).  The switch is realised over a transition
+  window: neighbours are notified to start credit accounting, flits
+  arriving during the window are still deflected, and backpressured
+  operation begins once every flit dispatched before accounting started
+  is guaranteed to have been deflected onward.  With this simulator's
+  dispatch-to-delivery latency of 1 + L cycles the window is 2L + 1
+  cycles (the paper's 2L under its coarser send/receive timing).
+* reverse (backpressured → backpressureless): permitted only when the
+  EWMA is below the low threshold *and* the input buffers are empty —
+  otherwise buffered flits would be stranded.  Takes effect immediately.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from enum import Enum
+from typing import Deque, Optional
+
+from ..network.config import ContentionThresholds
+from ..network.stats import RouterModeStats
+
+
+class Mode(Enum):
+    """Operating mode of an AFC router."""
+
+    BACKPRESSURELESS = "backpressureless"
+    #: Forward switch in progress: still deflecting, neighbours already
+    #: (or about to be) counting credits.
+    TRANSITION = "transition"
+    BACKPRESSURED = "backpressured"
+
+    @property
+    def deflecting(self) -> bool:
+        """True when arrivals are latched and deflected rather than
+        buffered."""
+        return self is not Mode.BACKPRESSURED
+
+
+class ModeController:
+    """Per-router load estimator plus mode FSM."""
+
+    def __init__(
+        self,
+        thresholds: ContentionThresholds,
+        link_latency: int,
+        load_window: int = 4,
+        ewma_alpha: float = 0.99,
+        adaptive: bool = True,
+        initial_mode: Mode = Mode.BACKPRESSURELESS,
+    ) -> None:
+        if initial_mode is Mode.TRANSITION:
+            raise ValueError("cannot start in a transition")
+        self.thresholds = thresholds
+        self.link_latency = link_latency
+        self.adaptive = adaptive
+        self.mode = initial_mode
+        self.ewma = 0.0
+        self._window: Deque[int] = deque(maxlen=load_window)
+        self._alpha = ewma_alpha
+        #: First cycle of backpressured operation for an in-progress
+        #: forward switch.
+        self.backpressured_from: Optional[int] = None
+
+    # -- load tracking ------------------------------------------------------
+    def record_load(self, switch_traversals: int) -> None:
+        """Report this cycle's switch traversals and update the EWMA."""
+        self._window.append(switch_traversals)
+        window_avg = sum(self._window) / len(self._window)
+        self.ewma = self._alpha * self.ewma + (1.0 - self._alpha) * window_avg
+
+    # -- transition window ------------------------------------------------------
+    @property
+    def transition_window(self) -> int:
+        """Cycles between a forward-switch trigger and backpressured
+        operation (2L + 1, see module docstring)."""
+        return 2 * self.link_latency + 1
+
+    def maybe_complete_forward(self, cycle: int) -> None:
+        """Enter backpressured mode once the transition window elapsed."""
+        if (
+            self.mode is Mode.TRANSITION
+            and self.backpressured_from is not None
+            and cycle >= self.backpressured_from
+        ):
+            self.mode = Mode.BACKPRESSURED
+            self.backpressured_from = None
+
+    # -- transitions ----------------------------------------------------------
+    def wants_forward(self) -> bool:
+        return (
+            self.adaptive
+            and self.mode is Mode.BACKPRESSURELESS
+            and self.ewma > self.thresholds.high
+        )
+
+    def wants_reverse(self, buffers_empty: bool) -> bool:
+        return (
+            self.adaptive
+            and self.mode is Mode.BACKPRESSURED
+            and self.ewma < self.thresholds.low
+            and buffers_empty
+        )
+
+    def begin_forward(self, cycle: int) -> None:
+        """Start a forward switch (threshold- or gossip-triggered)."""
+        if self.mode is not Mode.BACKPRESSURELESS:
+            raise RuntimeError(f"forward switch from mode {self.mode}")
+        self.mode = Mode.TRANSITION
+        self.backpressured_from = cycle + self.transition_window
+
+    def begin_reverse(self) -> None:
+        """Switch to backpressureless mode (caller checked buffers)."""
+        if self.mode is not Mode.BACKPRESSURED:
+            raise RuntimeError(f"reverse switch from mode {self.mode}")
+        self.mode = Mode.BACKPRESSURELESS
+
+    # -- accounting ---------------------------------------------------------------
+    def tick_residency(self, entry: RouterModeStats) -> None:
+        """Charge this cycle to the current mode's residency counter."""
+        if self.mode is Mode.BACKPRESSURELESS:
+            entry.backpressureless_cycles += 1
+        elif self.mode is Mode.TRANSITION:
+            entry.transition_cycles += 1
+        else:
+            entry.backpressured_cycles += 1

@@ -1,0 +1,149 @@
+"""Design-time derivation of local contention thresholds.
+
+Section III-B: AFC's thresholds are "experimentally-determined ...
+derived statically at design-time based solely on network loading and
+independent of other application characteristics".  This module is that
+design-time experiment as a reusable tool:
+
+1. sweep open-loop uniform-random load on the two pure designs and find
+   the *crossover load* — the lowest offered rate at which the
+   deflection router's latency exceeds the backpressured router's by a
+   chosen margin (past this point backpressured operation is clearly
+   preferable);
+2. run a never-switching AFC network at that load and record each
+   router class's steady-state EWMA traffic intensity;
+3. the per-class high threshold is that intensity; the low threshold is
+   a fixed hysteresis fraction of it.
+
+The tool generalises the paper's Table (Section IV) to any mesh size,
+link latency or traffic mix.  Note that thresholds derived at the
+latency crossover are *less* conservative than the paper's published
+values, which correspond to switching at a lower load; pass an explicit
+``switch_rate`` to derive a table for any chosen operating point.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..network.config import ContentionThresholds, Design, NetworkConfig
+from ..network.topology import RouterClass
+from ..simulation import Network
+from ..traffic.synthetic import uniform_random_traffic
+
+#: A threshold table that can never trigger a switch (used to hold an
+#: AFC network in backpressureless mode while probing intensities).
+NEVER_SWITCH = {
+    cls: ContentionThresholds(high=1e9, low=1e8) for cls in RouterClass
+}
+
+
+@dataclass(frozen=True)
+class ThresholdDerivation:
+    """Result of an empirical threshold derivation."""
+
+    thresholds: Dict[RouterClass, ContentionThresholds]
+    #: Offered load (flits/node/cycle) chosen as the switch point.
+    switch_rate: float
+    #: Mean EWMA intensity observed per router class at that load.
+    class_intensity: Dict[RouterClass, float]
+
+
+def find_crossover_rate(
+    config: NetworkConfig,
+    rates: Sequence[float] = (0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9),
+    margin: float = 1.15,
+    warmup_cycles: int = 1_500,
+    measure_cycles: int = 4_000,
+    seed: int = 0,
+) -> float:
+    """Lowest rate where deflection latency exceeds backpressured
+    latency by ``margin`` (returns the last rate if none does)."""
+
+    def probe(design: Design, rate: float):
+        net = Network(config, design, seed=seed)
+        source = uniform_random_traffic(
+            net, rate, seed=seed + 17, source_queue_limit=400
+        )
+        source.run(warmup_cycles)
+        net.begin_measurement()
+        source.run(measure_cycles)
+        return net.stats.avg_network_latency, net.stats.throughput
+
+    for rate in rates:
+        deflect_lat, deflect_thr = probe(Design.BACKPRESSURELESS, rate)
+        buffered_lat, buffered_thr = probe(Design.BACKPRESSURED, rate)
+        # Deflection stops being worth it when its latency blows up OR
+        # when it can no longer accept the offered load the buffered
+        # router still carries (early saturation shows up as a
+        # throughput shortfall, not as delivered-flit latency).
+        if buffered_lat > 0 and deflect_lat > margin * buffered_lat:
+            return rate
+        if buffered_thr > 0 and deflect_thr < 0.97 * buffered_thr:
+            return rate
+    return rates[-1]
+
+
+def measure_class_intensity(
+    config: NetworkConfig,
+    rate: float,
+    warmup_cycles: int = 1_500,
+    measure_cycles: int = 3_000,
+    seeds: int = 2,
+) -> Dict[RouterClass, float]:
+    """Per-router-class mean EWMA intensity at ``rate``, measured on an
+    AFC network pinned to backpressureless mode (thresholds set
+    unreachably high), i.e. exactly the signal an AFC router would see
+    when deciding to switch."""
+    from dataclasses import replace
+
+    probe_config = replace(config, thresholds=dict(NEVER_SWITCH))
+    samples: Dict[RouterClass, list] = {cls: [] for cls in RouterClass}
+    for seed in range(seeds):
+        net = Network(probe_config, Design.AFC, seed=seed)
+        source = uniform_random_traffic(
+            net, rate, seed=seed + 31, source_queue_limit=400
+        )
+        source.run(warmup_cycles + measure_cycles)
+        for node in range(net.mesh.num_nodes):
+            router = net.router(node)
+            samples[router.router_class].append(router.ewma_load)
+    return {
+        cls: statistics.fmean(vals) if vals else 0.0
+        for cls, vals in samples.items()
+    }
+
+
+def derive_thresholds_empirically(
+    config: Optional[NetworkConfig] = None,
+    switch_rate: Optional[float] = None,
+    hysteresis: float = 0.7,
+    margin: float = 1.15,
+    seeds: int = 2,
+) -> ThresholdDerivation:
+    """Run the full design-time derivation.
+
+    ``switch_rate`` overrides step 1 (use it to derive a table for a
+    chosen operating point); ``hysteresis`` sets low = hysteresis * high
+    (the paper's published pairs have low/high ratios of 0.62-0.77).
+    """
+    if not 0.0 < hysteresis < 1.0:
+        raise ValueError("hysteresis must be in (0, 1)")
+    config = config if config is not None else NetworkConfig()
+    rate = (
+        switch_rate
+        if switch_rate is not None
+        else find_crossover_rate(config, margin=margin)
+    )
+    intensity = measure_class_intensity(config, rate, seeds=seeds)
+    table = {}
+    for cls, value in intensity.items():
+        high = round(max(value, 1e-3), 2)
+        table[cls] = ContentionThresholds(
+            high=high, low=round(high * hysteresis, 2)
+        )
+    return ThresholdDerivation(
+        thresholds=table, switch_rate=rate, class_intensity=intensity
+    )

@@ -1,0 +1,52 @@
+"""Local contention thresholds (AFC mechanism 1).
+
+The thresholds are derived statically at design time from the network
+configuration alone — they are *not* tuned per application (Section
+III-B).  Routers with fewer ports see proportionally less through
+traffic, so corner and edge routers get scaled-down thresholds
+(Section IV: corner 1.8/1.2, edge 2.1/1.3, center 2.2/1.7).
+
+``derive_thresholds`` reproduces that scaling for arbitrary meshes: the
+center pair is taken as the reference and corner/edge pairs are scaled
+by the ratios implied by the paper's values, so the same code covers the
+3x3 closed-loop mesh and the 8x8 open-loop mesh.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..network.config import ContentionThresholds, NetworkConfig
+from ..network.topology import RouterClass
+
+#: Scaling of the paper's corner/edge thresholds relative to its center
+#: thresholds (high: 1.8/2.2 and 2.1/2.2; low: 1.2/1.7 and 1.3/1.7).
+_CLASS_SCALE = {
+    RouterClass.CORNER: (1.8 / 2.2, 1.2 / 1.7),
+    RouterClass.EDGE: (2.1 / 2.2, 1.3 / 1.7),
+    RouterClass.CENTER: (1.0, 1.0),
+}
+
+
+def thresholds_for(
+    config: NetworkConfig, router_class: RouterClass
+) -> ContentionThresholds:
+    """The hysteresis pair a router of ``router_class`` should use."""
+    return config.thresholds[router_class]
+
+
+def derive_thresholds(
+    center_high: float = 2.2, center_low: float = 1.7
+) -> Dict[RouterClass, ContentionThresholds]:
+    """Derive a full per-class threshold table from a center pair.
+
+    With the defaults this returns exactly the paper's Table (Section
+    IV) values, rounded to one decimal.
+    """
+    table: Dict[RouterClass, ContentionThresholds] = {}
+    for cls, (high_scale, low_scale) in _CLASS_SCALE.items():
+        table[cls] = ContentionThresholds(
+            high=round(center_high * high_scale, 1),
+            low=round(center_low * low_scale, 1),
+        )
+    return table

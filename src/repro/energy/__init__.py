@@ -1,0 +1,21 @@
+"""Orion-style network energy model (Section IV, "Energy Modeling").
+
+The Garnet+Orion callback structure of the paper maps here to routers
+reporting micro-events to an :class:`~repro.energy.model.OrionEnergyMeter`,
+which prices them with per-bit event energies and integrates leakage
+every cycle.
+"""
+
+from .model import (
+    EnergyBreakdown,
+    EnergyParameters,
+    OrionEnergyMeter,
+    DEFAULT_ENERGY_PARAMETERS,
+)
+
+__all__ = [
+    "EnergyBreakdown",
+    "EnergyParameters",
+    "OrionEnergyMeter",
+    "DEFAULT_ENERGY_PARAMETERS",
+]

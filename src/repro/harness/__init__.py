@@ -1,0 +1,44 @@
+"""Experiment harness.
+
+* :mod:`repro.harness.experiment` — runs warmed-up, multi-seed
+  closed-loop (memory-system) and open-loop (synthetic) experiments and
+  collects the paper's metrics.
+* :mod:`repro.harness.reporting` — renders the rows/series of the
+  paper's figures and tables as aligned text tables.
+"""
+
+from .experiment import (
+    ClosedLoopResult,
+    ExperimentRunner,
+    OpenLoopResult,
+    MAIN_DESIGNS,
+    ENERGY_DESIGNS_LOW_LOAD,
+)
+from .reporting import (
+    format_breakdown_table,
+    format_normalized_table,
+    format_table,
+    geometric_mean,
+)
+from .sweep import (
+    SweepGrid,
+    SweepTable,
+    run_closed_loop_sweep,
+    run_open_loop_sweep,
+)
+
+__all__ = [
+    "ClosedLoopResult",
+    "ENERGY_DESIGNS_LOW_LOAD",
+    "ExperimentRunner",
+    "MAIN_DESIGNS",
+    "OpenLoopResult",
+    "SweepGrid",
+    "SweepTable",
+    "format_breakdown_table",
+    "format_normalized_table",
+    "format_table",
+    "geometric_mean",
+    "run_closed_loop_sweep",
+    "run_open_loop_sweep",
+]

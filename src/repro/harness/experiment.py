@@ -1,0 +1,273 @@
+"""Warmed-up, multi-seed experiment runs.
+
+The paper's methodology (Section IV): closed-loop execution of
+multi-threaded workloads for performance/energy (Figures 2–3, repeated
+"multiple times to account for statistical variations"), plus open-loop
+synthetic traffic for the saturation and spatial-variation studies.
+:class:`ExperimentRunner` reproduces that discipline — every run is
+warmup → ``begin_measurement`` → measure, and every reported number is
+a mean over seeds with its standard deviation (the paper's variance
+bars).
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..energy.model import EnergyBreakdown
+from ..memsys.system import MemorySystem
+from ..network.config import (
+    DEFAULT_MACHINE_CONFIG,
+    Design,
+    MachineConfig,
+    NetworkConfig,
+)
+from ..simulation import Network
+from ..traffic.patterns import TrafficPattern
+from ..traffic.synthetic import OpenLoopSource, PacketMix
+from ..traffic.workloads import WorkloadProfile
+
+#: The four designs shown in every performance graph of Figure 2.
+MAIN_DESIGNS: Tuple[Design, ...] = (
+    Design.BACKPRESSURED,
+    Design.BACKPRESSURELESS,
+    Design.AFC,
+    Design.AFC_ALWAYS_BACKPRESSURED,
+)
+
+#: Figure 2(b) additionally shows the ideal-bypass energy bound, which
+#: "is relevant" only for the low-load energy comparison.
+ENERGY_DESIGNS_LOW_LOAD: Tuple[Design, ...] = MAIN_DESIGNS + (
+    Design.BACKPRESSURED_IDEAL_BYPASS,
+)
+
+
+def _mean_std(values: Sequence[float]) -> Tuple[float, float]:
+    mean = statistics.fmean(values)
+    std = statistics.stdev(values) if len(values) > 1 else 0.0
+    return mean, std
+
+
+def _mean_breakdown(parts: Sequence[EnergyBreakdown]) -> EnergyBreakdown:
+    n = len(parts)
+    return EnergyBreakdown(
+        buffer_dynamic=sum(p.buffer_dynamic for p in parts) / n,
+        buffer_static=sum(p.buffer_static for p in parts) / n,
+        link=sum(p.link for p in parts) / n,
+        crossbar=sum(p.crossbar for p in parts) / n,
+        arbiter=sum(p.arbiter for p in parts) / n,
+        latch=sum(p.latch for p in parts) / n,
+        credit=sum(p.credit for p in parts) / n,
+        logic_static=sum(p.logic_static for p in parts) / n,
+    )
+
+
+@dataclass
+class ClosedLoopResult:
+    """Multi-seed summary of one (design, workload) closed-loop run."""
+
+    design: Design
+    workload: str
+    seeds: int
+    #: Transactions per kilocycle per core (inverse execution time).
+    performance: float
+    performance_std: float
+    #: Network energy per completed transaction (fixed-work energy), pJ.
+    energy_per_txn: float
+    energy_per_txn_std: float
+    #: Mean per-seed component breakdown, per transaction (pJ).
+    breakdown_per_txn: EnergyBreakdown
+    injection_rate: float
+    avg_packet_latency: float
+    avg_miss_latency: float
+    backpressured_fraction: float
+    forward_switches: float
+    reverse_switches: float
+    gossip_switches: float
+
+
+@dataclass
+class OpenLoopResult:
+    """Multi-seed summary of one (design, rate, pattern) open-loop run."""
+
+    design: Design
+    offered_rate: float
+    seeds: int
+    throughput: float
+    avg_network_latency: float
+    latency_std: float
+    avg_packet_latency: float
+    deflection_rate: float
+    #: Network energy per delivered flit, pJ.
+    energy_per_flit: float
+    breakdown: EnergyBreakdown
+    backpressured_fraction: float
+    gossip_switches: float
+    #: Mean network latency restricted to packets destined to
+    #: ``latency_by_group`` node groups (spatial-variation experiment).
+    group_latency: Dict[str, float] = field(default_factory=dict)
+
+
+class ExperimentRunner:
+    """Builds, warms and measures simulations for one network config."""
+
+    def __init__(
+        self,
+        config: Optional[NetworkConfig] = None,
+        machine: MachineConfig = DEFAULT_MACHINE_CONFIG,
+        warmup_cycles: int = 4_000,
+        measure_cycles: int = 10_000,
+        seeds: int = 2,
+    ) -> None:
+        self.config = config if config is not None else NetworkConfig()
+        self.machine = machine
+        self.warmup_cycles = warmup_cycles
+        self.measure_cycles = measure_cycles
+        self.seeds = seeds
+
+    # -- closed loop ----------------------------------------------------------
+    def run_closed_loop(
+        self, design: Design, workload: WorkloadProfile
+    ) -> ClosedLoopResult:
+        perfs: List[float] = []
+        energies: List[float] = []
+        breakdowns: List[EnergyBreakdown] = []
+        inj: List[float] = []
+        pkt_lat: List[float] = []
+        miss_lat: List[float] = []
+        bp_frac: List[float] = []
+        fw: List[float] = []
+        rv: List[float] = []
+        gossip: List[float] = []
+        for seed in range(self.seeds):
+            net = Network(self.config, design, seed=seed)
+            system = MemorySystem(
+                net, workload, machine=self.machine, seed=1000 + seed
+            )
+            system.run(self.warmup_cycles)
+            system.begin_measurement()
+            system.run(self.measure_cycles)
+            txns = max(1, system.transactions_completed)
+            energy = net.measured_energy()
+            perfs.append(system.transactions_per_kilocycle_per_core)
+            energies.append(energy.total / txns)
+            breakdowns.append(
+                EnergyBreakdown(
+                    buffer_dynamic=energy.buffer_dynamic / txns,
+                    buffer_static=energy.buffer_static / txns,
+                    link=energy.link / txns,
+                    crossbar=energy.crossbar / txns,
+                    arbiter=energy.arbiter / txns,
+                    latch=energy.latch / txns,
+                    credit=energy.credit / txns,
+                    logic_static=energy.logic_static / txns,
+                )
+            )
+            stats = net.stats
+            inj.append(stats.injection_rate)
+            pkt_lat.append(stats.avg_packet_latency)
+            miss_lat.append(system.avg_miss_latency)
+            bp_frac.append(stats.network_backpressured_fraction)
+            modes = stats.mode_stats.values()
+            fw.append(sum(m.forward_switches for m in modes))
+            rv.append(sum(m.reverse_switches for m in modes))
+            gossip.append(stats.total_gossip_switches)
+        perf_mean, perf_std = _mean_std(perfs)
+        energy_mean, energy_std = _mean_std(energies)
+        return ClosedLoopResult(
+            design=design,
+            workload=workload.name,
+            seeds=self.seeds,
+            performance=perf_mean,
+            performance_std=perf_std,
+            energy_per_txn=energy_mean,
+            energy_per_txn_std=energy_std,
+            breakdown_per_txn=_mean_breakdown(breakdowns),
+            injection_rate=statistics.fmean(inj),
+            avg_packet_latency=statistics.fmean(pkt_lat),
+            avg_miss_latency=statistics.fmean(miss_lat),
+            backpressured_fraction=statistics.fmean(bp_frac),
+            forward_switches=statistics.fmean(fw),
+            reverse_switches=statistics.fmean(rv),
+            gossip_switches=statistics.fmean(gossip),
+        )
+
+    # -- open loop ----------------------------------------------------------------
+    def run_open_loop(
+        self,
+        design: Design,
+        rate: Union[float, Sequence[float]],
+        pattern: Optional[TrafficPattern] = None,
+        mix: PacketMix = PacketMix(),
+        latency_groups: Optional[Dict[str, Sequence[int]]] = None,
+        source_queue_limit: Optional[int] = 2_000,
+    ) -> OpenLoopResult:
+        thr: List[float] = []
+        net_lat: List[float] = []
+        pkt_lat: List[float] = []
+        defl: List[float] = []
+        energy_pf: List[float] = []
+        breakdowns: List[EnergyBreakdown] = []
+        bp_frac: List[float] = []
+        gossip: List[float] = []
+        group_sums: Dict[str, List[float]] = {
+            name: [] for name in (latency_groups or {})
+        }
+        for seed in range(self.seeds):
+            net = Network(self.config, design, seed=seed)
+            source = OpenLoopSource(
+                net,
+                rate,
+                pattern=pattern,
+                mix=mix,
+                seed=2000 + seed,
+                source_queue_limit=source_queue_limit,
+            )
+            source.run(self.warmup_cycles)
+            net.begin_measurement()
+            source.run(self.measure_cycles)
+            stats = net.stats
+            energy = net.measured_energy()
+            flits = max(1, stats.flits_ejected)
+            thr.append(stats.throughput)
+            net_lat.append(stats.avg_network_latency)
+            pkt_lat.append(stats.avg_packet_latency)
+            defl.append(stats.deflection_rate)
+            energy_pf.append(energy.total / flits)
+            breakdowns.append(energy)
+            bp_frac.append(stats.network_backpressured_fraction)
+            gossip.append(stats.total_gossip_switches)
+            for name, nodes in (latency_groups or {}).items():
+                members = set(nodes)
+                lat_sum = sum(
+                    stats.per_node_latency_sum[n] for n in members
+                )
+                count = sum(stats.per_node_completed[n] for n in members)
+                group_sums[name].append(lat_sum / count if count else 0.0)
+        lat_mean, lat_std = _mean_std(net_lat)
+        offered = (
+            float(rate)
+            if isinstance(rate, (int, float))
+            else statistics.fmean(rate)
+        )
+        return OpenLoopResult(
+            design=design,
+            offered_rate=offered,
+            seeds=self.seeds,
+            throughput=statistics.fmean(thr),
+            avg_network_latency=lat_mean,
+            latency_std=lat_std,
+            avg_packet_latency=statistics.fmean(pkt_lat),
+            deflection_rate=statistics.fmean(defl),
+            energy_per_flit=statistics.fmean(energy_pf),
+            breakdown=_mean_breakdown(breakdowns),
+            backpressured_fraction=statistics.fmean(bp_frac),
+            gossip_switches=statistics.fmean(gossip),
+            group_latency={
+                name: statistics.fmean(vals)
+                for name, vals in group_sums.items()
+            },
+        )

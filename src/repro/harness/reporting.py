@@ -1,0 +1,119 @@
+"""Text rendering of the paper's figures and tables.
+
+The paper presents normalized bar charts (Figure 2), stacked breakdown
+bars (Figure 3) and prose tables; here each becomes an aligned text
+table with the same rows/series, normalized the same way (to the
+baseline backpressured network).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..energy.model import EnergyBreakdown
+from ..network.config import Design
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (the paper's summary statistic for Figure 2)."""
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned, pipe-separated text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    )
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            " | ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_normalized_table(
+    metric_name: str,
+    values: Mapping[str, Mapping[Design, float]],
+    designs: Sequence[Design],
+    baseline: Design = Design.BACKPRESSURED,
+    higher_is_better: bool = True,
+    title: Optional[str] = None,
+) -> str:
+    """A Figure-2-style table: workloads x designs, baseline-normalized.
+
+    ``values[workload][design]`` is the raw metric; every cell is
+    divided by the workload's baseline value, and a geometric-mean row
+    (the paper's "Mean" group of bars) is appended.
+    """
+    headers = [metric_name] + [d.value for d in designs]
+    rows: List[List[str]] = []
+    normalized: Dict[Design, List[float]] = {d: [] for d in designs}
+    for workload, per_design in values.items():
+        base = per_design[baseline]
+        if base == 0:
+            raise ValueError(f"baseline metric is zero for {workload}")
+        row = [workload]
+        for design in designs:
+            norm = per_design[design] / base
+            normalized[design].append(norm)
+            row.append(f"{norm:.3f}")
+        rows.append(row)
+    mean_row = ["geomean"]
+    for design in designs:
+        mean_row.append(f"{geometric_mean(normalized[design]):.3f}")
+    rows.append(mean_row)
+    note = "higher is better" if higher_is_better else "lower is better"
+    full_title = title or f"{metric_name} (normalized to {baseline.value}; {note})"
+    return format_table(headers, rows, title=full_title)
+
+
+def format_breakdown_table(
+    values: Mapping[str, Mapping[Design, EnergyBreakdown]],
+    designs: Sequence[Design],
+    baseline: Design = Design.BACKPRESSURED,
+    title: Optional[str] = None,
+) -> str:
+    """A Figure-3-style table: per workload and design, the
+    buffer/link/rest split, normalized to the workload's baseline total
+    (so the baseline's stack sums to 1.0, exactly like the figure)."""
+    headers = ["workload", "design", "buffer", "link", "rest", "total"]
+    rows: List[List[str]] = []
+    for workload, per_design in values.items():
+        base_total = per_design[baseline].total
+        if base_total == 0:
+            raise ValueError(f"baseline energy is zero for {workload}")
+        for design in designs:
+            b = per_design[design]
+            rows.append(
+                [
+                    workload,
+                    design.value,
+                    f"{b.buffer / base_total:.3f}",
+                    f"{b.link / base_total:.3f}",
+                    f"{b.other / base_total:.3f}",
+                    f"{b.total / base_total:.3f}",
+                ]
+            )
+    return format_table(
+        headers,
+        rows,
+        title=title
+        or f"Network energy breakdown (normalized to {baseline.value} total)",
+    )

@@ -1,0 +1,195 @@
+"""Generic parameter sweeps with tabular/CSV output.
+
+The benchmarks cover the paper's fixed experiment grid; this utility
+covers the exploratory grids around it — any cartesian product of
+designs × workloads (closed loop) or designs × rates (open loop),
+optionally × network-config variants — collected into one result table
+that can be printed or written as CSV for external plotting.
+
+Example::
+
+    from repro.harness.sweep import SweepGrid, run_closed_loop_sweep
+
+    grid = SweepGrid(
+        designs=[Design.BACKPRESSURED, Design.AFC],
+        workloads=[WORKLOADS["ocean"], WORKLOADS["apache"]],
+        configs={"L=2": NetworkConfig(), "L=4": NetworkConfig(
+            link_latency=4, gossip_threshold=8)},
+    )
+    table = run_closed_loop_sweep(grid, seeds=2)
+    print(table.render())
+    table.save_csv("sweep.csv")
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..network.config import Design, NetworkConfig
+from ..traffic.workloads import WorkloadProfile
+from .experiment import ExperimentRunner
+from .reporting import format_table
+
+
+@dataclass
+class SweepTable:
+    """Uniform result rows from a sweep."""
+
+    columns: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+
+    def add(self, row: Sequence[object]) -> None:
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells, table has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(list(row))
+
+    def render(self, title: Optional[str] = None) -> str:
+        formatted = [
+            [
+                f"{cell:.4g}" if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+            for row in self.rows
+        ]
+        return format_table(self.columns, formatted, title=title)
+
+    def save_csv(self, path: Union[str, pathlib.Path]) -> None:
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(self.columns)
+            writer.writerows(self.rows)
+
+    @classmethod
+    def load_csv(cls, path: Union[str, pathlib.Path]) -> "SweepTable":
+        with open(path, newline="") as handle:
+            reader = csv.reader(handle)
+            columns = next(reader)
+            table = cls(columns=columns)
+            for row in reader:
+                table.add(row)
+        return table
+
+    def column(self, name: str) -> List[object]:
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """The cartesian product to evaluate."""
+
+    designs: Sequence[Design]
+    workloads: Sequence[WorkloadProfile] = ()
+    rates: Sequence[float] = ()
+    configs: Optional[Dict[str, NetworkConfig]] = None
+
+    def config_items(self):
+        if self.configs:
+            return list(self.configs.items())
+        return [("default", NetworkConfig())]
+
+
+def run_closed_loop_sweep(
+    grid: SweepGrid,
+    warmup_cycles: int = 2_000,
+    measure_cycles: int = 6_000,
+    seeds: int = 1,
+) -> SweepTable:
+    """Closed-loop sweep over configs × designs × workloads."""
+    if not grid.workloads:
+        raise ValueError("closed-loop sweep needs workloads")
+    table = SweepTable(
+        columns=[
+            "config",
+            "design",
+            "workload",
+            "performance",
+            "performance_std",
+            "energy_per_txn",
+            "injection_rate",
+            "miss_latency",
+            "bp_fraction",
+        ]
+    )
+    for config_name, config in grid.config_items():
+        runner = ExperimentRunner(
+            config=config,
+            warmup_cycles=warmup_cycles,
+            measure_cycles=measure_cycles,
+            seeds=seeds,
+        )
+        for design in grid.designs:
+            for workload in grid.workloads:
+                result = runner.run_closed_loop(design, workload)
+                table.add(
+                    [
+                        config_name,
+                        design.value,
+                        workload.name,
+                        result.performance,
+                        result.performance_std,
+                        result.energy_per_txn,
+                        result.injection_rate,
+                        result.avg_miss_latency,
+                        result.backpressured_fraction,
+                    ]
+                )
+    return table
+
+
+def run_open_loop_sweep(
+    grid: SweepGrid,
+    warmup_cycles: int = 1_500,
+    measure_cycles: int = 4_000,
+    seeds: int = 1,
+    source_queue_limit: Optional[int] = 500,
+) -> SweepTable:
+    """Open-loop sweep over configs × designs × rates."""
+    if not grid.rates:
+        raise ValueError("open-loop sweep needs rates")
+    table = SweepTable(
+        columns=[
+            "config",
+            "design",
+            "rate",
+            "throughput",
+            "network_latency",
+            "deflection_rate",
+            "energy_per_flit",
+            "bp_fraction",
+        ]
+    )
+    for config_name, config in grid.config_items():
+        runner = ExperimentRunner(
+            config=config,
+            warmup_cycles=warmup_cycles,
+            measure_cycles=measure_cycles,
+            seeds=seeds,
+        )
+        for design in grid.designs:
+            for rate in grid.rates:
+                result = runner.run_open_loop(
+                    design, rate, source_queue_limit=source_queue_limit
+                )
+                table.add(
+                    [
+                        config_name,
+                        design.value,
+                        rate,
+                        result.throughput,
+                        result.avg_network_latency,
+                        result.deflection_rate,
+                        result.energy_per_flit,
+                        result.backpressured_fraction,
+                    ]
+                )
+    return table

@@ -1,0 +1,26 @@
+"""Closed-loop memory-system substrate.
+
+Stands in for the paper's Simics/GEMS full-system stack (see DESIGN.md,
+"Substitutions"): per-node cores with finite MSHRs issue cache misses at
+a workload-calibrated demand rate; distributed shared-L2 banks return
+cache-line data after a fixed latency; writebacks and 3-hop sharing
+forwards add the remaining coherence traffic.  Crucially the loop is
+*closed* — network latency throttles the cores through MSHR occupancy,
+so execution time (transactions per cycle) responds to flow control,
+exactly the feedback the paper argues open-loop and trace-driven
+methodologies miss (Section IV, "Workloads").
+"""
+
+from .protocol import MessageType, message_flits, message_vnet
+from .core_model import Core
+from .l2bank import L2Bank
+from .system import MemorySystem
+
+__all__ = [
+    "Core",
+    "L2Bank",
+    "MemorySystem",
+    "MessageType",
+    "message_flits",
+    "message_vnet",
+]

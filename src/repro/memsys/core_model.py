@@ -1,0 +1,161 @@
+"""Core model: a miss generator with finite MSHRs.
+
+Models what the paper's 4-way SMT cores look like *to the network*: a
+stream of L1 misses with a workload-specific demand rate, subject to a
+16-entry MSHR limit (Table II).  Demand is generated with exponential
+inter-miss gaps whose clock only advances while an MSHR is available —
+when the network is slow, MSHRs stay full longer, the demand clock
+stalls, and fewer transactions complete per cycle.  That is the whole
+closed-loop feedback path, and it is what converts network latency into
+"execution time" differences between flow-control designs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..network.config import MachineConfig
+from ..traffic.workloads import WorkloadProfile
+from .protocol import MessageType
+
+
+@dataclass
+class Transaction:
+    """One outstanding miss (MSHR entry).
+
+    A write miss under the invalidation extension completes only when
+    both the data fill and every sharer's INV_ACK have arrived; the
+    expected ack count rides in the fill's metadata (acks may race
+    ahead of the 18-flit data packet on the control network, so
+    ``acks_received`` can lead ``acks_expected``).
+    """
+
+    tid: int
+    issued_at: int
+    is_write: bool
+    data_received: bool = False
+    acks_expected: Optional[int] = None
+    acks_received: int = 0
+
+    @property
+    def complete(self) -> bool:
+        if not self.data_received:
+            return False
+        expected = self.acks_expected if self.acks_expected else 0
+        return self.acks_received >= expected
+
+
+class Core:
+    """Per-node miss generator and MSHR table."""
+
+    def __init__(
+        self,
+        node: int,
+        profile: WorkloadProfile,
+        machine: MachineConfig,
+        rng: random.Random,
+    ) -> None:
+        self.node = node
+        self.profile = profile
+        self.machine = machine
+        self.rng = rng
+        self.outstanding: Dict[int, Transaction] = {}
+        self._next_tid = 0
+        self._gap = self._draw_gap()
+        # -- counters (reset by begin_measurement) --
+        self.completed = 0
+        self.issued = 0
+        self.stall_cycles = 0
+        self.latency_sum = 0
+
+    def _draw_gap(self, cycle: int = 0) -> int:
+        """Cycles of progress until the next miss (exponential, at the
+        phase-modulated demand in effect right now)."""
+        rate = self.profile.demand_at(cycle)
+        if rate <= 0:
+            return 1 << 60  # effectively never
+        return max(1, round(self.rng.expovariate(rate)))
+
+    # -- demand generation ----------------------------------------------------
+    def tick(self, cycle: int) -> Optional[Transaction]:
+        """Advance one cycle; return a new miss to issue, if any.
+
+        The demand clock only runs while an MSHR is free: a core whose
+        misses are all stuck in the network makes no forward progress.
+        """
+        if len(self.outstanding) >= self.machine.l1_mshrs:
+            self.stall_cycles += 1
+            return None
+        self._gap -= 1
+        if self._gap > 0:
+            return None
+        self._gap = self._draw_gap(cycle)
+        tid = self._next_tid
+        self._next_tid += 1
+        txn = Transaction(
+            tid=tid,
+            issued_at=cycle,
+            is_write=self.rng.random() < self.profile.write_fraction,
+        )
+        self.outstanding[tid] = txn
+        self.issued += 1
+        return txn
+
+    def request_type(self, txn: Transaction) -> MessageType:
+        return MessageType.GETX if txn.is_write else MessageType.GETS
+
+    # -- completion -----------------------------------------------------------
+    def on_fill(
+        self, tid: int, cycle: int, acks_expected: int = 0
+    ) -> Optional[bool]:
+        """A fill for transaction ``tid`` arrived.
+
+        ``acks_expected`` is the number of sharer invalidation acks the
+        directory issued for this (write) transaction.  Returns None if
+        the transaction is still waiting for acks, else whether the
+        fill victimises a dirty line (the caller then emits a
+        writeback).
+        """
+        txn = self.outstanding.get(tid)
+        if txn is None:
+            raise KeyError(
+                f"fill for unknown transaction {tid} at core {self.node}"
+            )
+        txn.data_received = True
+        txn.acks_expected = acks_expected
+        return self._maybe_complete(txn, cycle)
+
+    def on_inv_ack(self, tid: int, cycle: int) -> Optional[bool]:
+        """A sharer's invalidation ack arrived (may precede the fill)."""
+        txn = self.outstanding.get(tid)
+        if txn is None:
+            raise KeyError(
+                f"ack for unknown transaction {tid} at core {self.node}"
+            )
+        txn.acks_received += 1
+        return self._maybe_complete(txn, cycle)
+
+    def _maybe_complete(
+        self, txn: Transaction, cycle: int
+    ) -> Optional[bool]:
+        if not txn.complete:
+            return None
+        del self.outstanding[txn.tid]
+        self.completed += 1
+        self.latency_sum += cycle - txn.issued_at
+        return self.rng.random() < self.profile.dirty_writeback_fraction
+
+    # -- metrics ----------------------------------------------------------------
+    @property
+    def avg_miss_latency(self) -> float:
+        if not self.completed:
+            return 0.0
+        return self.latency_sum / self.completed
+
+    def reset_counters(self) -> None:
+        self.completed = 0
+        self.issued = 0
+        self.stall_cycles = 0
+        self.latency_sum = 0

@@ -1,0 +1,88 @@
+"""Shared-L2 bank model.
+
+Each node hosts one bank of the shared L2 (Table II: 18 MB over 9
+banks, 12-cycle latency, 16 MSHRs).  A bank accepts requests into an
+input queue, admits up to ``l2_mshrs`` of them concurrently, and
+completes each after the L2 latency (plus the off-chip latency for the
+fraction that miss to memory).  On completion it either supplies the
+line itself or, for shared lines, forwards the request to the current
+owner (3-hop transfer).
+
+Banks never block the network: arriving packets are always sunk into
+the input queue (receive-side MSHR buffering, which the paper excludes
+from network energy), so protocol-level deadlock is impossible by
+construction.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque
+
+from ..network.config import MachineConfig
+
+
+@dataclass(frozen=True)
+class BankRequest:
+    """A request admitted to (or queued at) a bank."""
+
+    requestor: int
+    tid: int
+    is_write: bool
+
+
+class L2Bank:
+    """One bank of the distributed shared L2."""
+
+    def __init__(
+        self,
+        node: int,
+        machine: MachineConfig,
+        rng: random.Random,
+        sharing_fraction: float,
+    ) -> None:
+        self.node = node
+        self.machine = machine
+        self.rng = rng
+        self.sharing_fraction = sharing_fraction
+        self.queue: Deque[BankRequest] = deque()
+        self.outstanding = 0
+        self.requests_served = 0
+        self.queue_high_water = 0
+
+    def enqueue(self, request: BankRequest) -> None:
+        self.queue.append(request)
+        self.queue_high_water = max(self.queue_high_water, len(self.queue))
+
+    def tick(
+        self,
+        cycle: int,
+        schedule: Callable[[int, Callable[[int], None]], None],
+        complete: Callable[[BankRequest, bool, int], None],
+    ) -> None:
+        """Admit queued requests while MSHRs remain.
+
+        ``schedule(at_cycle, fn)`` is the system's event wheel;
+        ``complete(request, forwarded, cycle)`` is invoked when the bank
+        finishes a request, with ``forwarded`` true for 3-hop transfers.
+        """
+        while self.outstanding < self.machine.l2_mshrs and self.queue:
+            request = self.queue.popleft()
+            self.outstanding += 1
+            latency = self.machine.l2_latency
+            if self.rng.random() < self.machine.l2_miss_rate:
+                latency += self.machine.memory_latency
+            forwarded = self.rng.random() < self.sharing_fraction
+
+            def _finish(
+                at_cycle: int,
+                _request: BankRequest = request,
+                _forwarded: bool = forwarded,
+            ) -> None:
+                self.outstanding -= 1
+                self.requests_served += 1
+                complete(_request, _forwarded, at_cycle)
+
+            schedule(cycle + latency, _finish)

@@ -1,0 +1,84 @@
+"""Coherence message vocabulary.
+
+A deliberately small directory-protocol message set — enough to
+generate the request/response/forward/writeback traffic shapes that
+drive the network, without modelling coherence-state machinery the
+network never sees.  Virtual-network assignment follows the paper's
+configuration (two control networks plus a data network, Table II) and
+standard protocol-deadlock discipline: requests and responses never
+share a virtual network.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from ..network.config import NetworkConfig
+from ..network.flit import VirtualNetwork
+
+
+class MessageType(Enum):
+    """Message classes exchanged by cores and L2 banks."""
+
+    #: Read miss: core → home bank.
+    GETS = "GETS"
+    #: Write miss / upgrade: core → home bank.
+    GETX = "GETX"
+    #: Cache-line fill: home bank → requestor.
+    DATA = "DATA"
+    #: 3-hop forward: home bank → current owner.
+    FWD = "FWD"
+    #: Owner-supplied fill: owner → requestor.
+    OWNER_DATA = "OWNER_DATA"
+    #: Dirty-line writeback: core → victim's home bank.
+    WB = "WB"
+    #: Writeback acknowledgement: home bank → writer.
+    WB_ACK = "WB_ACK"
+    #: Sharer invalidation on a write miss: home bank → sharer.
+    INV = "INV"
+    #: Invalidation acknowledgement: sharer → requestor (the write
+    #: completes only once every ack has arrived).
+    INV_ACK = "INV_ACK"
+
+    @property
+    def is_request(self) -> bool:
+        return self in (MessageType.GETS, MessageType.GETX)
+
+    @property
+    def is_fill(self) -> bool:
+        return self in (MessageType.DATA, MessageType.OWNER_DATA)
+
+
+_VNET = {
+    MessageType.GETS: VirtualNetwork.CONTROL_REQ,
+    MessageType.GETX: VirtualNetwork.CONTROL_REQ,
+    MessageType.FWD: VirtualNetwork.CONTROL_REQ,
+    MessageType.DATA: VirtualNetwork.DATA,
+    MessageType.OWNER_DATA: VirtualNetwork.DATA,
+    MessageType.WB: VirtualNetwork.DATA,
+    MessageType.WB_ACK: VirtualNetwork.CONTROL_RESP,
+    MessageType.INV: VirtualNetwork.CONTROL_REQ,
+    MessageType.INV_ACK: VirtualNetwork.CONTROL_RESP,
+}
+
+_IS_DATA_SIZED = {
+    MessageType.GETS: False,
+    MessageType.GETX: False,
+    MessageType.FWD: False,
+    MessageType.DATA: True,
+    MessageType.OWNER_DATA: True,
+    MessageType.WB: True,
+    MessageType.WB_ACK: False,
+    MessageType.INV: False,
+    MessageType.INV_ACK: False,
+}
+
+
+def message_vnet(mtype: MessageType) -> VirtualNetwork:
+    """Virtual network a message class travels on."""
+    return _VNET[mtype]
+
+
+def message_flits(config: NetworkConfig, mtype: MessageType) -> int:
+    """Packet length in flits for a message class."""
+    return config.packet_flits(_IS_DATA_SIZED[mtype])

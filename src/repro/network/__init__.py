@@ -1,0 +1,47 @@
+"""Cycle-level NoC substrate: flits, topology, links, routing, stats.
+
+This package contains everything that is *common* to the three router
+designs; the designs themselves live in :mod:`repro.routers` (baselines)
+and :mod:`repro.core` (AFC).
+"""
+
+from .config import (
+    CONTROL_BITS,
+    ContentionThresholds,
+    Design,
+    MachineConfig,
+    NetworkConfig,
+)
+from .flit import Flit, Packet, VirtualNetwork, make_packet
+from .interface import NetworkInterface
+from .link import Channel, CreditMessage, DelayLine, ModeNotice, ModeNotification
+from .reassembly import CompletedPacket, ReassemblyBuffer
+from .routing import productive_ports, xy_route
+from .stats import StatsCollector
+from .topology import Direction, Mesh, RouterClass
+
+__all__ = [
+    "CONTROL_BITS",
+    "Channel",
+    "CompletedPacket",
+    "ContentionThresholds",
+    "CreditMessage",
+    "DelayLine",
+    "Design",
+    "Direction",
+    "Flit",
+    "MachineConfig",
+    "Mesh",
+    "ModeNotice",
+    "ModeNotification",
+    "NetworkConfig",
+    "NetworkInterface",
+    "Packet",
+    "ReassemblyBuffer",
+    "RouterClass",
+    "StatsCollector",
+    "VirtualNetwork",
+    "make_packet",
+    "productive_ports",
+    "xy_route",
+]

@@ -1,0 +1,52 @@
+"""Energy-metering hook interface.
+
+Routers report their micro-events (buffer writes/reads, crossbar and
+link traversals, arbitration, latch writes, credit signalling) to an
+:class:`EnergyMeter`.  The real meter lives in :mod:`repro.energy`; the
+:class:`NullEnergyMeter` here lets the network run without energy
+accounting (e.g. in unit tests) at zero cost.
+
+Keeping the hook interface in the network package (rather than the
+energy package) means ``repro.energy`` depends on ``repro.network`` and
+not the other way around.
+"""
+
+from __future__ import annotations
+
+
+class EnergyMeter:
+    """No-op base class defining the metering interface.
+
+    ``node`` identifies the router reporting the event; counts are
+    numbers of flits (or messages) involved.
+    """
+
+    def buffer_write(self, node: int, flits: int = 1) -> None:
+        """Flit written into an input-buffer SRAM."""
+
+    def buffer_read(self, node: int, flits: int = 1) -> None:
+        """Flit read out of an input-buffer SRAM."""
+
+    def crossbar(self, node: int, flits: int = 1) -> None:
+        """Flit traversing the switch."""
+
+    def arbiter(self, node: int, requests: int = 1) -> None:
+        """Switch/VC arbitration activity."""
+
+    def link(self, node: int, flits: int = 1) -> None:
+        """Flit driven onto an inter-router link."""
+
+    def latch(self, node: int, flits: int = 1) -> None:
+        """Flit captured in a pipeline latch (deflection-mode input)."""
+
+    def credit(self, node: int, messages: int = 1) -> None:
+        """Credit/control backflow signalling."""
+
+    def static_cycle(self, routers) -> None:
+        """Integrate one cycle of leakage over all routers.  Called once
+        per simulated cycle by the network."""
+
+
+class NullEnergyMeter(EnergyMeter):
+    """Explicit do-nothing meter (identical to the base; named for
+    readability at call sites)."""

@@ -1,0 +1,182 @@
+"""Flits, packets and virtual networks.
+
+The unit of flow control in every router modelled here is the *flit*.
+A :class:`Packet` is the unit of transfer requested by a client (a cache
+controller, a synthetic traffic source, ...); it is expanded into a
+sequence of flits at injection time.
+
+Following the paper (Section III-A), every flit carries enough control
+information to be routed *independently* of its siblings: the packet id,
+its sequence number within the packet, the destination node, and the
+virtual network it travels on.  This is what makes flit-by-flit routing
+(deflection routing, and AFC's lazy-VC backpressured mode) possible.
+Backpressured-only networks would not need all of these fields on every
+flit, which is why their flits are narrower (41 vs 45 vs 49 bits, see
+:mod:`repro.network.config`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Iterator, Optional
+
+
+class VirtualNetwork(IntEnum):
+    """The three virtual networks of the simulated CMP (Table II).
+
+    Two *control* networks (coherence requests and short responses /
+    acknowledgements travel on separate networks to avoid protocol
+    deadlock) and one *data* network carrying cache-line payloads.
+    """
+
+    CONTROL_REQ = 0
+    CONTROL_RESP = 1
+    DATA = 2
+
+    @property
+    def is_control(self) -> bool:
+        return self is not VirtualNetwork.DATA
+
+
+#: Number of virtual networks; buffer layouts are indexed by vnet.
+NUM_VNETS = len(VirtualNetwork)
+
+_packet_ids = itertools.count()
+
+
+def reset_packet_ids() -> None:
+    """Restart the global packet-id counter (used by tests for determinism)."""
+    global _packet_ids
+    _packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """A multi-flit message between two network clients.
+
+    Parameters
+    ----------
+    src, dst:
+        Node ids of the producer and consumer.
+    vnet:
+        Virtual network the packet travels on.
+    num_flits:
+        Packet length in flits (control packets are short, data packets
+        carry a cache line).
+    created_at:
+        Cycle at which the client handed the packet to the network
+        interface (queueing at the interface counts toward latency).
+    kind:
+        Free-form tag used by the memory-system substrate to interpret
+        the packet (e.g. ``"GETS"``, ``"DATA"``); the network itself
+        never looks at it.
+    """
+
+    src: int
+    dst: int
+    vnet: VirtualNetwork
+    num_flits: int
+    created_at: int
+    kind: str = "payload"
+    #: Client-private annotations (e.g. the memory-system substrate's
+    #: transaction id and requestor); opaque to the network.
+    meta: Optional[dict] = None
+    #: Retransmission epoch (dropping flow control only): incremented
+    #: each time the packet is dropped and must be resent in full;
+    #: flits stamped with an older epoch are stale and are discarded at
+    #: the destination's reassembly buffer.
+    epoch: int = 0
+    pid: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if self.num_flits < 1:
+            raise ValueError(f"packet must have >= 1 flit, got {self.num_flits}")
+        if self.src == self.dst:
+            raise ValueError("packet source and destination must differ")
+
+    def flits(self) -> Iterator["Flit"]:
+        """Expand the packet into its flit sequence (stamped with the
+        packet's current retransmission epoch)."""
+        for seq in range(self.num_flits):
+            yield Flit(packet=self, seq=seq, epoch=self.epoch)
+
+
+@dataclass(eq=False)
+class Flit:
+    """A single flow-control unit.
+
+    Routing state (``injected_at``, ``hops``, ``deflections``) is mutated
+    by routers as the flit travels; the identity fields are immutable in
+    spirit (never reassigned after creation).  Flits compare by identity
+    (``eq=False``): two flits are the same flit only if they are the
+    same object, which also keeps them hashable for set membership.
+    """
+
+    packet: Packet
+    seq: int
+
+    #: Cycle the flit entered the network proper (left the injection queue).
+    injected_at: Optional[int] = None
+    #: Network hops traversed so far (link traversals).
+    hops: int = 0
+    #: Number of non-productive (deflected) hops; only deflection-mode
+    #: routers ever increment this.
+    deflections: int = 0
+    #: Virtual channel assigned for the current hop.  The baseline router
+    #: sets this at dispatch (the downstream buffer is chosen upstream);
+    #: AFC's lazy scheme leaves it at -1 and binds the VC on arrival.
+    vc: int = -1
+    #: Retransmission epoch this flit belongs to (see Packet.epoch).
+    epoch: int = 0
+
+    # -- identity helpers -------------------------------------------------
+    @property
+    def pid(self) -> int:
+        return self.packet.pid
+
+    @property
+    def src(self) -> int:
+        return self.packet.src
+
+    @property
+    def dst(self) -> int:
+        return self.packet.dst
+
+    @property
+    def vnet(self) -> VirtualNetwork:
+        return self.packet.vnet
+
+    @property
+    def is_head(self) -> bool:
+        return self.seq == 0
+
+    @property
+    def is_tail(self) -> bool:
+        return self.seq == self.packet.num_flits - 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Flit(pid={self.pid}, seq={self.seq}/{self.packet.num_flits - 1}, "
+            f"{self.src}->{self.dst}, vnet={self.vnet.name})"
+        )
+
+
+def make_packet(
+    src: int,
+    dst: int,
+    vnet: VirtualNetwork,
+    num_flits: int,
+    created_at: int,
+    kind: str = "payload",
+) -> Packet:
+    """Convenience constructor mirroring :class:`Packet`'s signature."""
+    return Packet(
+        src=src,
+        dst=dst,
+        vnet=vnet,
+        num_flits=num_flits,
+        created_at=created_at,
+        kind=kind,
+    )

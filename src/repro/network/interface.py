@@ -1,0 +1,137 @@
+"""Per-node network interface (NI).
+
+The NI sits between a client (a traffic generator or the memory-system
+substrate) and its router.  On the send side it holds per-virtual-network
+source queues of flits awaiting injection — source queueing time counts
+toward packet latency, so injection backpressure is visible in results.
+On the receive side it owns the MSHR-style reassembly buffer and
+delivers completed packets to the client callback.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from .flit import Flit, Packet, VirtualNetwork
+from .reassembly import CompletedPacket, ReassemblyBuffer
+from .stats import StatsCollector
+
+
+class NetworkInterface:
+    """Injection queues + reassembly for one node."""
+
+    def __init__(
+        self,
+        node: int,
+        stats: StatsCollector,
+        on_packet: Optional[Callable[[CompletedPacket], None]] = None,
+    ) -> None:
+        self.node = node
+        self.stats = stats
+        self.on_packet = on_packet
+        #: Optional observer of every offered packet (traffic tracing).
+        self.on_offer: Optional[Callable[[Packet], None]] = None
+        self._queues: Dict[VirtualNetwork, Deque[Flit]] = {
+            vnet: deque() for vnet in VirtualNetwork
+        }
+        self.reassembly = ReassemblyBuffer(node)
+        #: Completed packets not yet collected by a polling client.
+        self.completed: Deque[CompletedPacket] = deque()
+        #: Absolute counters (never reset by measurement windows; the
+        #: flit-conservation invariant is checked against these).
+        self.flits_ejected_total = 0
+        self.flits_offered_total = 0
+
+    # -- send side ------------------------------------------------------------
+    def offer(self, packet: Packet) -> None:
+        """Queue a packet for injection (client-facing entry point)."""
+        if packet.src != self.node:
+            raise ValueError(
+                f"packet with src {packet.src} offered at node {self.node}"
+            )
+        self.stats.record_injection(packet)
+        self.flits_offered_total += packet.num_flits
+        if self.on_offer is not None:
+            self.on_offer(packet)
+        queue = self._queues[packet.vnet]
+        for flit in packet.flits():
+            queue.append(flit)
+
+    def peek(self, vnet: VirtualNetwork) -> Optional[Flit]:
+        """Next flit awaiting injection on ``vnet`` (without removing)."""
+        queue = self._queues[vnet]
+        return queue[0] if queue else None
+
+    def pop(self, vnet: VirtualNetwork, cycle: int) -> Flit:
+        """Remove and return the next flit; stamps its injection cycle."""
+        flit = self._queues[vnet].popleft()
+        flit.injected_at = cycle
+        return flit
+
+    def offer_retransmission(self, packet: Packet) -> int:
+        """Re-queue a dropped packet in full (dropping flow control).
+
+        The packet's epoch was bumped when it was dropped; fresh flits
+        carry the new epoch so the destination discards any stale
+        leftovers of the earlier attempt.  Stale flits of this packet
+        still waiting in the source queue are purged (the source does
+        not waste injection bandwidth on a superseded attempt); the
+        number purged is returned so the network can account for them
+        in its conservation ledger.  Retransmissions count toward the
+        conservation totals (new flit objects enter the network) but
+        not toward the injection-rate statistics, which measure offered
+        *useful* load."""
+        queue = self._queues[packet.vnet]
+        kept = [f for f in queue if f.pid != packet.pid]
+        purged = len(queue) - len(kept)
+        queue.clear()
+        queue.extend(kept)
+        self.flits_offered_total += packet.num_flits
+        for flit in packet.flits():
+            queue.append(flit)
+        return purged
+
+    def pending_vnets(self) -> List[VirtualNetwork]:
+        """Virtual networks that currently have flits queued."""
+        return [vnet for vnet, q in self._queues.items() if q]
+
+    @property
+    def source_queue_flits(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    @property
+    def has_pending(self) -> bool:
+        return any(self._queues.values())
+
+    # -- receive side -------------------------------------------------------------
+    def eject(self, flit: Flit, cycle: int) -> None:
+        """Accept a flit from the router's ejection port.
+
+        Stale flits (superseded retransmission epochs, dropping flow
+        control only) count toward the conservation ledger but not
+        toward goodput statistics.
+        """
+        self.flits_ejected_total += 1
+        if flit.epoch >= flit.packet.epoch:
+            self.stats.record_flit_ejected(self.node)
+        done = self.reassembly.accept(flit, cycle)
+        if done is None:
+            return
+        self.stats.record_packet_complete(
+            done.packet,
+            completed_at=done.completed_at,
+            first_injected_at=done.first_injected_at,
+            total_hops=done.hops,
+            total_deflections=done.deflections,
+        )
+        if self.on_packet is not None:
+            self.on_packet(done)
+        else:
+            self.completed.append(done)
+
+    def drain_completed(self) -> List[CompletedPacket]:
+        """Collect packets completed since the last call (polling mode)."""
+        out = list(self.completed)
+        self.completed.clear()
+        return out

@@ -1,0 +1,177 @@
+"""Pipelined links and their backflow channels.
+
+Each unidirectional router-to-router connection is a :class:`Channel`
+with two pipes:
+
+* the *flit pipe* (upstream → downstream) models switch traversal plus
+  L cycles of link traversal: a flit dispatched in cycle ``t`` is
+  delivered into the downstream input stage at cycle ``t + 1 + L``
+  (stage 2 of Table I overlaps partial link traversal);
+* the *backflow pipe* (downstream → upstream) carries credit returns and
+  the one-bit mode-notification control line of Section III-A, with
+  latency L.
+
+Links are where the two flow-control disciplines meet: a backpressured
+downstream router emits credits on the backflow pipe, a backpressureless
+one does not, and AFC routers toggle between the two with explicit
+start/stop-credit-tracking notifications.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+from typing import Deque, Generic, List, Optional, Tuple, TypeVar
+
+from .flit import Flit, VirtualNetwork
+from .topology import Direction
+
+T = TypeVar("T")
+
+
+class DelayLine(Generic[T]):
+    """A FIFO whose items become visible ``latency`` cycles after entry.
+
+    Items entered in the same cycle are delivered in entry order.  The
+    structure is strictly monotone: ``pop_ready`` must be called with
+    non-decreasing cycle numbers.
+    """
+
+    def __init__(self, latency: int) -> None:
+        if latency < 0:
+            raise ValueError("latency must be >= 0")
+        self.latency = latency
+        self._items: Deque[Tuple[int, T]] = deque()
+
+    def push(self, item: T, cycle: int) -> None:
+        """Insert ``item`` at ``cycle``; it is deliverable at
+        ``cycle + latency``."""
+        ready = cycle + self.latency
+        if self._items and self._items[-1][0] > ready:
+            raise ValueError("DelayLine pushes must have non-decreasing cycles")
+        self._items.append((ready, item))
+
+    def pop_ready(self, cycle: int) -> List[T]:
+        """Remove and return every item deliverable at or before ``cycle``."""
+        out: List[T] = []
+        while self._items and self._items[0][0] <= cycle:
+            out.append(self._items.popleft()[1])
+        return out
+
+    def peek_ready(self, cycle: int) -> List[T]:
+        """Return (without removing) items deliverable at or before
+        ``cycle``."""
+        return [item for ready, item in self._items if ready <= cycle]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._items)
+
+
+class ModeNotice(Enum):
+    """Mode-notification control messages (Section III-A's one-bit line).
+
+    ``START_CREDITS`` tells the upstream neighbour to begin credit
+    accounting for this port (downstream is switching to backpressured
+    mode); ``STOP_CREDITS`` tells it to stop and treat the port as fully
+    free (downstream has switched to backpressureless mode).
+    """
+
+    START_CREDITS = "start_credits"
+    STOP_CREDITS = "stop_credits"
+
+
+@dataclass(frozen=True)
+class CreditMessage:
+    """A credit return for one flit freed from a downstream input buffer.
+
+    ``vc`` identifies the baseline router's VC (per-VC credit tracking);
+    AFC's lazy scheme tracks per virtual network only, so AFC credits
+    carry ``vnet`` with ``vc`` unused.  ``frees_vc`` is set when the flit
+    leaving the downstream buffer was a tail flit, releasing the
+    per-packet VC allocation in the baseline scheme.
+    """
+
+    vnet: VirtualNetwork
+    vc: int = -1
+    frees_vc: bool = False
+    #: A *debit* tells the upstream router to decrement (not increment)
+    #: its credit count: AFC sends one when, during a mode transition, it
+    #: buffers a flit the upstream had dispatched before credit
+    #: accounting began (see repro.core.afc_router).
+    debit: bool = False
+
+
+@dataclass(frozen=True)
+class ModeNotification:
+    """A mode notice plus, for START_CREDITS, the per-vnet occupancy of
+    the downstream input port at the time the downstream router began
+    buffering — the upstream initialises its credit counters to
+    ``capacity - occupied``."""
+
+    kind: ModeNotice
+    occupied: Tuple[int, int, int] = (0, 0, 0)
+
+
+Backflow = Tuple[str, object]  # ("credit", CreditMessage) | ("mode", ModeNotification)
+
+
+class Channel:
+    """One unidirectional connection ``upstream --(direction)--> downstream``.
+
+    ``direction`` is the *output* direction at the upstream router; the
+    downstream router receives these flits on its ``direction.opposite``
+    input port.
+    """
+
+    def __init__(
+        self,
+        upstream: int,
+        direction: Direction,
+        downstream: int,
+        link_latency: int,
+    ) -> None:
+        if direction is Direction.LOCAL:
+            raise ValueError("channels connect routers, not local clients")
+        self.upstream = upstream
+        self.direction = direction
+        self.downstream = downstream
+        self.link_latency = link_latency
+        # Dispatch (SA win) at t -> downstream delivery at t + 1 + L.
+        self._flits: DelayLine[Flit] = DelayLine(latency=1 + link_latency)
+        self._backflow: DelayLine[Backflow] = DelayLine(latency=link_latency)
+        #: Running count of flit traversals (used by energy accounting).
+        self.flit_traversals = 0
+
+    # -- forward (flit) direction -----------------------------------------
+    def send_flit(self, flit: Flit, cycle: int) -> None:
+        flit.hops += 1
+        self.flit_traversals += 1
+        self._flits.push(flit, cycle)
+
+    def deliver_flits(self, cycle: int) -> List[Flit]:
+        return self._flits.pop_ready(cycle)
+
+    @property
+    def flits_in_flight(self) -> int:
+        return self._flits.in_flight
+
+    # -- backflow direction -------------------------------------------------
+    def send_credit(self, credit: CreditMessage, cycle: int) -> None:
+        self._backflow.push(("credit", credit), cycle)
+
+    def send_mode_notice(self, notice: ModeNotification, cycle: int) -> None:
+        self._backflow.push(("mode", notice), cycle)
+
+    def deliver_backflow(self, cycle: int) -> List[Backflow]:
+        return self._backflow.pop_ready(cycle)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Channel({self.upstream} --{self.direction.name}--> "
+            f"{self.downstream}, L={self.link_latency})"
+        )

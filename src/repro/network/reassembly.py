@@ -1,0 +1,128 @@
+"""Receive-side reassembly of flit-by-flit routed packets.
+
+Deflection routing (and AFC's lazy-VC backpressured mode) delivers the
+flits of a packet out of order and intermingled with other packets'
+flits.  Section II of the paper argues this needs no extra hardware
+beyond the MSHR receive buffers that backpressured networks already
+require; here we model that buffering as a per-node
+:class:`ReassemblyBuffer` keyed by packet id.
+
+The buffer also tracks the bookkeeping the statistics need: the cycle
+the first flit of the packet entered the network and the accumulated
+hop/deflection counts over all flits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from .flit import Flit, Packet
+
+
+@dataclass
+class _PendingPacket:
+    packet: Packet
+    epoch: int = 0
+    received: Set[int] = field(default_factory=set)
+    hops: int = 0
+    deflections: int = 0
+    first_injected_at: Optional[int] = None
+
+    @property
+    def complete(self) -> bool:
+        return len(self.received) == self.packet.num_flits
+
+
+@dataclass(frozen=True)
+class CompletedPacket:
+    """A fully reassembled packet plus its measured transport costs."""
+
+    packet: Packet
+    completed_at: int
+    first_injected_at: int
+    hops: int
+    deflections: int
+
+    @property
+    def latency(self) -> int:
+        return self.completed_at - self.packet.created_at
+
+
+class ReassemblyBuffer:
+    """Per-node MSHR-style reassembly of arriving flits."""
+
+    def __init__(self, node: int) -> None:
+        self.node = node
+        self._pending: Dict[int, _PendingPacket] = {}
+        #: Maximum number of simultaneously pending packets observed;
+        #: useful for sizing receive-side buffering in experiments.
+        self.high_water = 0
+        #: Flits discarded because their packet was dropped and will be
+        #: retransmitted in full (dropping flow control only).
+        self.stale_flits_discarded = 0
+
+    def accept(self, flit: Flit, cycle: int) -> Optional[CompletedPacket]:
+        """Record an ejected flit; return the packet if now complete.
+
+        Flits from a superseded retransmission epoch (the packet was
+        dropped somewhere and will be resent in full) are discarded;
+        any partial state they contributed is likewise abandoned when
+        the first current-epoch flit arrives.
+        """
+        if flit.dst != self.node:
+            raise ValueError(
+                f"flit destined to {flit.dst} ejected at node {self.node}"
+            )
+        if flit.epoch < flit.packet.epoch:
+            self.stale_flits_discarded += 1
+            return None
+        entry = self._pending.get(flit.pid)
+        if entry is not None and entry.epoch < flit.epoch:
+            # Abandon the superseded partial reassembly.
+            self.stale_flits_discarded += len(entry.received)
+            del self._pending[flit.pid]
+            entry = None
+        if entry is None:
+            entry = _PendingPacket(packet=flit.packet, epoch=flit.epoch)
+            self._pending[flit.pid] = entry
+            self.high_water = max(self.high_water, len(self._pending))
+        if flit.seq in entry.received:
+            raise ValueError(
+                f"duplicate flit seq {flit.seq} for packet {flit.pid}"
+            )
+        entry.received.add(flit.seq)
+        entry.hops += flit.hops
+        entry.deflections += flit.deflections
+        if flit.injected_at is not None:
+            if entry.first_injected_at is None:
+                entry.first_injected_at = flit.injected_at
+            else:
+                entry.first_injected_at = min(
+                    entry.first_injected_at, flit.injected_at
+                )
+        if not entry.complete:
+            return None
+        del self._pending[flit.pid]
+        return CompletedPacket(
+            packet=entry.packet,
+            completed_at=cycle,
+            first_injected_at=(
+                entry.first_injected_at
+                if entry.first_injected_at is not None
+                else entry.packet.created_at
+            ),
+            hops=entry.hops,
+            deflections=entry.deflections,
+        )
+
+    @property
+    def pending_packets(self) -> int:
+        return len(self._pending)
+
+    @property
+    def pending_flits(self) -> int:
+        """Flits still outstanding across all pending packets."""
+        return sum(
+            p.packet.num_flits - len(p.received) for p in self._pending.values()
+        )

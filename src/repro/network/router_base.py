@@ -1,0 +1,155 @@
+"""Abstract router shared by all three designs.
+
+A router owns one input channel and one output channel per existing
+network direction, plus a local injection source and ejection sink (the
+node's :class:`~repro.network.interface.NetworkInterface`).  The network
+drives every router twice per cycle:
+
+1. :meth:`deliver` — pop arrived flits from the input channels into the
+   router's input stage, and process backflow (credits, mode notices)
+   from the output channels.
+2. :meth:`step` — inject, arbitrate, and dispatch flits onto output
+   channels / the ejection port.
+
+Routers never touch each other directly; all interaction flows through
+:class:`~repro.network.link.Channel` delay lines, so the per-cycle
+iteration order over routers cannot affect results.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from .config import Design, NetworkConfig
+from .energy_hooks import EnergyMeter, NullEnergyMeter
+from .flit import Flit
+from .link import Channel, CreditMessage, ModeNotification
+from .stats import StatsCollector
+from .topology import Direction, Mesh
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .interface import NetworkInterface
+
+
+class BaseRouter(ABC):
+    """Common wiring, delivery loop and bookkeeping for all routers."""
+
+    design: Design
+
+    def __init__(
+        self,
+        node: int,
+        config: NetworkConfig,
+        mesh: Mesh,
+        rng: random.Random,
+        stats: StatsCollector,
+        energy: Optional[EnergyMeter] = None,
+    ) -> None:
+        self.node = node
+        self.config = config
+        self.mesh = mesh
+        self.rng = rng
+        self.stats = stats
+        self.energy = energy if energy is not None else NullEnergyMeter()
+        #: Input channels keyed by the local input-port direction (the
+        #: side of this router the neighbour's flits arrive on).
+        self.in_channels: Dict[Direction, Channel] = {}
+        #: Output channels keyed by output-port direction.
+        self.out_channels: Dict[Direction, Channel] = {}
+        self.ni: Optional["NetworkInterface"] = None
+        self.router_class = mesh.router_class(node)
+
+    # -- wiring -------------------------------------------------------------
+    def attach_input(self, direction: Direction, channel: Channel) -> None:
+        if direction in self.in_channels:
+            raise ValueError(f"input port {direction.name} already wired")
+        self.in_channels[direction] = channel
+
+    def attach_output(self, direction: Direction, channel: Channel) -> None:
+        if direction in self.out_channels:
+            raise ValueError(f"output port {direction.name} already wired")
+        self.out_channels[direction] = channel
+
+    def attach_interface(self, ni: "NetworkInterface") -> None:
+        self.ni = ni
+
+    @property
+    def network_ports(self) -> List[Direction]:
+        return list(self.out_channels.keys())
+
+    # -- per-cycle protocol ---------------------------------------------------
+    def deliver(self, cycle: int) -> None:
+        """Pull arrivals and backflow out of the channels."""
+        for direction, channel in self.in_channels.items():
+            for flit in channel.deliver_flits(cycle):
+                self._accept_flit(flit, direction, cycle)
+        for direction, channel in self.out_channels.items():
+            for kind, message in channel.deliver_backflow(cycle):
+                if kind == "credit":
+                    assert isinstance(message, CreditMessage)
+                    self._accept_credit(direction, message, cycle)
+                else:
+                    assert isinstance(message, ModeNotification)
+                    self._accept_mode_notice(direction, message, cycle)
+
+    @abstractmethod
+    def step(self, cycle: int) -> None:
+        """Inject, arbitrate and dispatch for one cycle."""
+
+    # -- design-specific receive paths -----------------------------------------
+    @abstractmethod
+    def _accept_flit(self, flit: Flit, in_port: Direction, cycle: int) -> None:
+        """A flit arrived on ``in_port``."""
+
+    def _accept_credit(
+        self, out_port: Direction, credit: CreditMessage, cycle: int
+    ) -> None:
+        """Credit backflow from the neighbour we send to on ``out_port``.
+
+        Pure backpressureless routers ignore credits entirely.
+        """
+
+    def _accept_mode_notice(
+        self, out_port: Direction, notice: ModeNotification, cycle: int
+    ) -> None:
+        """Mode notification from the neighbour on ``out_port``.
+
+        Only meaningful in AFC networks; others ignore it.
+        """
+
+    # -- shared helpers ----------------------------------------------------------
+    def _eject(self, flit: Flit, cycle: int) -> None:
+        """Hand a flit at its destination to the local interface."""
+        assert self.ni is not None, "router has no network interface"
+        self.energy.crossbar(self.node)
+        self.ni.eject(flit, cycle)
+
+    def _dispatch(self, flit: Flit, out_port: Direction, cycle: int) -> None:
+        """Send a flit on a network output port."""
+        self.energy.crossbar(self.node)
+        self.energy.link(self.node)
+        self.out_channels[out_port].send_flit(flit, cycle)
+
+    # -- introspection (used by energy accounting and invariant checks) -----------
+    def buffered_flits(self) -> int:
+        """Flits currently held in this router's input buffers."""
+        return 0
+
+    def resident_flits(self) -> int:
+        """All flits inside the router (buffers plus pipeline latches);
+        used by flit-conservation invariant checks."""
+        return self.buffered_flits()
+
+    @property
+    def buffers_power_gated(self) -> bool:
+        """True when the input buffers are power-gated this cycle."""
+        return False
+
+    @property
+    def buffer_capacity_flits(self) -> int:
+        """Total input-buffer capacity across all ports, in flits."""
+        return self.config.buffer_flits_per_port(self.design) * (
+            len(self.in_channels) + 1  # +1 for the local injection port
+        )

@@ -1,0 +1,67 @@
+"""Routing functions.
+
+All designs in the paper use provably deadlock-free dimension-ordered
+(XY) routing as the *productive* route.  The backpressured router follows
+DOR strictly; the deflection router prefers productive ports but may be
+forced onto any free port.  Lookahead routing (LAR) means the output port
+at the next hop is computed one hop early; in this simulator routes are
+simply computed combinationally when needed, which is timing-equivalent
+to LAR inside the 2-stage pipeline of Table I.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .topology import Direction, Mesh
+
+
+def xy_route(mesh: Mesh, current: int, dst: int) -> Direction:
+    """Dimension-ordered (X then Y) output port at ``current`` toward ``dst``.
+
+    Returns ``Direction.LOCAL`` when the flit has arrived.
+    """
+    cx, cy = mesh.coords(current)
+    dx, dy = mesh.coords(dst)
+    if cx < dx:
+        return Direction.EAST
+    if cx > dx:
+        return Direction.WEST
+    if cy < dy:
+        return Direction.SOUTH
+    if cy > dy:
+        return Direction.NORTH
+    return Direction.LOCAL
+
+
+def productive_ports(mesh: Mesh, current: int, dst: int) -> List[Direction]:
+    """All ports that reduce the distance to ``dst`` (0, 1 or 2 ports).
+
+    Deflection routers may use any of these, not only the DOR one,
+    because they are not bound by DOR's deadlock-avoidance discipline
+    (deflection avoids deadlock by construction).  The DOR port, when it
+    exists, is listed first so that allocators preferring earlier entries
+    behave like XY routing under no contention.
+    """
+    cx, cy = mesh.coords(current)
+    dx, dy = mesh.coords(dst)
+    ports: List[Direction] = []
+    if cx < dx:
+        ports.append(Direction.EAST)
+    elif cx > dx:
+        ports.append(Direction.WEST)
+    if cy < dy:
+        ports.append(Direction.SOUTH)
+    elif cy > dy:
+        ports.append(Direction.NORTH)
+    return ports
+
+
+def is_productive(mesh: Mesh, current: int, dst: int, port: Direction) -> bool:
+    """True if dispatching on ``port`` reduces the hop distance to ``dst``."""
+    if port is Direction.LOCAL:
+        return current == dst
+    if not mesh.has_neighbor(current, port):
+        return False
+    nxt = mesh.neighbor(current, port)
+    return mesh.hop_distance(nxt, dst) < mesh.hop_distance(current, dst)

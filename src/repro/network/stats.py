@@ -1,0 +1,192 @@
+"""Simulation statistics.
+
+One :class:`StatsCollector` instance is shared by the network, routers
+and endpoints of a simulation.  It supports a warmup phase: calling
+:meth:`reset_measurement` zeroes the counters without disturbing the
+simulation, so the measurement window excludes cold-start transients
+(mirroring the paper's cache/system warmup discipline, Table IV).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import DefaultDict, Dict, List
+
+from .flit import Packet, VirtualNetwork
+
+
+@dataclass
+class RouterModeStats:
+    """Per-router AFC mode residency and switch counts."""
+
+    backpressureless_cycles: int = 0
+    backpressured_cycles: int = 0
+    transition_cycles: int = 0
+    forward_switches: int = 0
+    reverse_switches: int = 0
+    gossip_switches: int = 0
+
+    @property
+    def observed_cycles(self) -> int:
+        return (
+            self.backpressureless_cycles
+            + self.backpressured_cycles
+            + self.transition_cycles
+        )
+
+    @property
+    def backpressured_fraction(self) -> float:
+        total = self.observed_cycles
+        if total == 0:
+            return 0.0
+        # Transition cycles are counted with the mode being left, i.e.
+        # still-deflecting cycles of a forward switch count as
+        # backpressureless time.
+        return self.backpressured_cycles / total
+
+
+class StatsCollector:
+    """Accumulates latency, throughput and routing-behaviour counters."""
+
+    def __init__(self, num_nodes: int) -> None:
+        self.num_nodes = num_nodes
+        self.reset_measurement(cycle=0)
+
+    # -- lifecycle ---------------------------------------------------------
+    def reset_measurement(self, cycle: int) -> None:
+        """Start (or restart) the measurement window at ``cycle``."""
+        self.window_start = cycle
+        self.cycles = 0
+        self.flits_injected = 0
+        self.flits_ejected = 0
+        self.packets_injected = 0
+        self.packets_completed = 0
+        self.packet_latency_sum = 0
+        self.network_latency_sum = 0
+        self.network_latency_samples = 0
+        self.hops_sum = 0
+        self.completed_flits = 0
+        self.deflections = 0
+        #: Flits dropped on contention (dropping-variant routers only).
+        self.flits_dropped = 0
+        self.dispatched_flit_hops = 0
+        self.packets_per_vnet: DefaultDict[VirtualNetwork, int] = defaultdict(int)
+        self.latencies: List[int] = []
+        self.mode_stats: Dict[int, RouterModeStats] = defaultdict(RouterModeStats)
+        self.per_node_ejected: DefaultDict[int, int] = defaultdict(int)
+        self.per_node_latency_sum: DefaultDict[int, int] = defaultdict(int)
+        self.per_node_completed: DefaultDict[int, int] = defaultdict(int)
+
+    def tick(self) -> None:
+        """Advance the measurement window by one simulated cycle."""
+        self.cycles += 1
+
+    # -- recording -----------------------------------------------------------
+    def record_injection(self, packet: Packet) -> None:
+        self.packets_injected += 1
+        self.flits_injected += packet.num_flits
+        self.packets_per_vnet[packet.vnet] += 1
+
+    def record_flit_ejected(self, node: int) -> None:
+        self.flits_ejected += 1
+        self.per_node_ejected[node] += 1
+
+    def record_packet_complete(
+        self,
+        packet: Packet,
+        completed_at: int,
+        first_injected_at: int,
+        total_hops: int,
+        total_deflections: int,
+    ) -> None:
+        """A packet's last flit reached the destination reassembly buffer."""
+        self.packets_completed += 1
+        latency = completed_at - packet.created_at
+        self.packet_latency_sum += latency
+        self.latencies.append(latency)
+        self.network_latency_sum += completed_at - first_injected_at
+        self.network_latency_samples += 1
+        self.hops_sum += total_hops
+        self.completed_flits += packet.num_flits
+        self.deflections += total_deflections
+        self.per_node_latency_sum[packet.dst] += latency
+        self.per_node_completed[packet.dst] += 1
+
+    def record_switch_traversal(self, count: int = 1) -> None:
+        """Flits crossing any router crossbar this cycle (load metric)."""
+        self.dispatched_flit_hops += count
+
+    def record_drop(self, count: int = 1) -> None:
+        """A contention drop (the flit will be retransmitted)."""
+        self.flits_dropped += count
+
+    # -- derived metrics -----------------------------------------------------
+    @property
+    def avg_packet_latency(self) -> float:
+        """Mean packet latency in cycles, source-queueing included."""
+        if not self.packets_completed:
+            return 0.0
+        return self.packet_latency_sum / self.packets_completed
+
+    @property
+    def avg_network_latency(self) -> float:
+        """Mean latency from first-flit injection to packet completion."""
+        if not self.network_latency_samples:
+            return 0.0
+        return self.network_latency_sum / self.network_latency_samples
+
+    @property
+    def avg_hops(self) -> float:
+        """Mean link traversals per delivered flit (deflections make
+        this exceed the minimal hop distance)."""
+        if not self.completed_flits:
+            return 0.0
+        return self.hops_sum / self.completed_flits
+
+    @property
+    def deflection_rate(self) -> float:
+        """Deflections per network hop."""
+        if not self.hops_sum:
+            return 0.0
+        return self.deflections / self.hops_sum
+
+    @property
+    def injection_rate(self) -> float:
+        """Measured offered load in flits/node/cycle (Table III metric)."""
+        if not self.cycles:
+            return 0.0
+        return self.flits_injected / (self.num_nodes * self.cycles)
+
+    @property
+    def throughput(self) -> float:
+        """Accepted traffic in flits/node/cycle."""
+        if not self.cycles:
+            return 0.0
+        return self.flits_ejected / (self.num_nodes * self.cycles)
+
+    def latency_percentile(self, pct: float) -> float:
+        """The ``pct``-th percentile of packet latency (0 < pct <= 100)."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        idx = min(len(ordered) - 1, max(0, int(len(ordered) * pct / 100.0)))
+        return float(ordered[idx])
+
+    # -- mode residency --------------------------------------------------------
+    def mode(self, node: int) -> RouterModeStats:
+        return self.mode_stats[node]
+
+    @property
+    def network_backpressured_fraction(self) -> float:
+        """Fraction of router-cycles spent in backpressured mode,
+        aggregated over all routers (the paper's duty-cycle metric)."""
+        total = sum(m.observed_cycles for m in self.mode_stats.values())
+        if total == 0:
+            return 0.0
+        bp = sum(m.backpressured_cycles for m in self.mode_stats.values())
+        return bp / total
+
+    @property
+    def total_gossip_switches(self) -> int:
+        return sum(m.gossip_switches for m in self.mode_stats.values())

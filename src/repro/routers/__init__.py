@@ -1,0 +1,24 @@
+"""Baseline router implementations.
+
+* :mod:`repro.routers.backpressured` — the credit-based virtual-channel
+  router (also used, with different energy accounting, for the
+  "ideal-bypass" lower bound).
+* :mod:`repro.routers.backpressureless` — the deflection router.
+
+The adaptive AFC router, the paper's contribution, lives in
+:mod:`repro.core`.
+"""
+
+from .backpressured import BackpressuredRouter
+from .backpressureless import (
+    BackpressurelessRouter,
+    PriorityDeflectionRouter,
+)
+from .dropping import DroppingRouter
+
+__all__ = [
+    "BackpressuredRouter",
+    "BackpressurelessRouter",
+    "DroppingRouter",
+    "PriorityDeflectionRouter",
+]

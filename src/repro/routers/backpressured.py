@@ -1,0 +1,405 @@
+"""Baseline credit-based virtual-channel (backpressured) router.
+
+This is the paper's baseline (Section II): an input-queued router with
+per-packet virtual-channel flow control, dimension-ordered routing, and
+the charitable assumption of a 2-stage pipeline with 0-cycle VC
+allocation (Table I).  Concretely, in a single simulated cycle a flit
+can be routed, allocated a downstream VC, win switch arbitration, and
+start its switch+link traversal — so at zero load its per-hop latency
+equals the deflection router's, making high-load flow-control effects
+the only difference between designs.
+
+Flow-control rules implemented here (Section III-E's R1/R2 in their
+traditional, restrictive form):
+
+* a VC is allocated to a packet by its head flit and is not reusable
+  until the packet's tail flit has *left* the downstream buffer (R1);
+* VC allocation is coordinated at the upstream router, which is the sole
+  feeder of the downstream input port in a mesh, so no two packets can
+  be assigned the same VC (R2);
+* flits of a packet never interleave with other packets inside a VC, so
+  body flits need no routing information of their own.
+
+Credits are tracked per VC.  The upstream router decrements a VC's
+credit when dispatching into it and regains it when the downstream
+router dequeues the flit (credit backflow, L-cycle latency).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..network.config import Design, NetworkConfig
+from ..network.energy_hooks import EnergyMeter
+from ..network.flit import Flit, VirtualNetwork
+from ..network.link import CreditMessage
+from ..network.router_base import BaseRouter
+from ..network.routing import xy_route
+from ..network.stats import StatsCollector
+from ..network.topology import Direction, Mesh
+
+
+def vc_ranges(vcs: Sequence[int]) -> Dict[VirtualNetwork, range]:
+    """Global VC index range per virtual network for a port layout.
+
+    The baseline layout (2, 2, 4) maps to ``{CONTROL_REQ: 0..1,
+    CONTROL_RESP: 2..3, DATA: 4..7}``.
+    """
+    ranges: Dict[VirtualNetwork, range] = {}
+    start = 0
+    for vnet, count in zip(VirtualNetwork, vcs):
+        ranges[vnet] = range(start, start + count)
+        start += count
+    return ranges
+
+
+@dataclass
+class VirtualChannelBuffer:
+    """One VC of an input port: a FIFO plus per-packet allocation state."""
+
+    vnet: VirtualNetwork
+    depth: int
+    queue: Deque[Flit] = field(default_factory=deque)
+    #: Packet currently owning this VC (set by its head flit's arrival,
+    #: cleared when its tail flit departs).
+    owner_pid: Optional[int] = None
+    #: Output port of the owning packet (computed once, by the head).
+    out_port: Optional[Direction] = None
+    #: Downstream VC allocated to the owning packet.
+    out_vc: Optional[int] = None
+
+    @property
+    def free_for_allocation(self) -> bool:
+        return self.owner_pid is None
+
+    def reset_packet_state(self) -> None:
+        self.owner_pid = None
+        self.out_port = None
+        self.out_vc = None
+
+
+@dataclass
+class _DownstreamVC:
+    """Upstream-side mirror of one downstream input VC."""
+
+    credits: int
+    busy: bool = False
+
+
+class _OutputPortState:
+    """Credit and allocation state for one network output port."""
+
+    def __init__(self, vcs: Sequence[int], depth: int) -> None:
+        self.vc_states = [
+            _DownstreamVC(credits=depth) for _ in range(sum(vcs))
+        ]
+        self.ranges = vc_ranges(vcs)
+        self._alloc_rr: Dict[VirtualNetwork, int] = {
+            vnet: 0 for vnet in VirtualNetwork
+        }
+        self.grant_rr = 0
+
+    def allocate_vc(self, vnet: VirtualNetwork) -> Optional[int]:
+        """Claim a free downstream VC in ``vnet`` (round-robin scan)."""
+        rng = self.ranges[vnet]
+        n = len(rng)
+        start = self._alloc_rr[vnet]
+        for i in range(n):
+            idx = rng[(start + i) % n]
+            if not self.vc_states[idx].busy:
+                self.vc_states[idx].busy = True
+                self._alloc_rr[vnet] = (start + i + 1) % n
+                return idx
+        return None
+
+
+class _InputPort:
+    """All VCs of one input port, plus its SA round-robin pointer."""
+
+    def __init__(self, vcs: Sequence[int], depth: int) -> None:
+        self.vcs: List[VirtualChannelBuffer] = []
+        for vnet, count in zip(VirtualNetwork, vcs):
+            self.vcs.extend(
+                VirtualChannelBuffer(vnet=vnet, depth=depth)
+                for _ in range(count)
+            )
+        self.ranges = vc_ranges(vcs)
+        self.sa_rr = 0
+
+    def occupancy(self) -> int:
+        return sum(len(vc.queue) for vc in self.vcs)
+
+
+class BackpressuredRouter(BaseRouter):
+    """The baseline per-packet VC router (and its ideal-bypass twin)."""
+
+    def __init__(
+        self,
+        node: int,
+        config: NetworkConfig,
+        mesh: Mesh,
+        rng: random.Random,
+        stats: StatsCollector,
+        energy: Optional[EnergyMeter] = None,
+        design: Design = Design.BACKPRESSURED,
+    ) -> None:
+        super().__init__(node, config, mesh, rng, stats, energy)
+        if not design.is_backpressured_baseline:
+            raise ValueError(f"{design} is not a baseline design")
+        self.design = design
+        self._vcs = config.baseline_vcs
+        self._depth = config.baseline_vc_depth
+        self._input_ports: Dict[Direction, _InputPort] = {}
+        self._out_state: Dict[Direction, _OutputPortState] = {}
+        #: Local-injection streaming state: the local-port VC currently
+        #: receiving each vnet's in-progress packet.
+        self._stream_vc: Dict[VirtualNetwork, Optional[int]] = {
+            vnet: None for vnet in VirtualNetwork
+        }
+        self._inject_rr = 0
+        self._eject_rr = 0
+        self._finalized = False
+        #: Realistic buffer bypass (Wang et al. [1]): a flit that
+        #: arrives at an empty VC and leaves in the same cycle skips
+        #: both the buffer write and read energies.  Timing is
+        #: untouched.  Flits in this set arrived at an empty VC this
+        #: cycle and have not (yet) paid for a buffer write.
+        self._realistic_bypass = design is Design.BACKPRESSURED_BYPASS
+        self._bypass_pending: set = set()
+
+    # -- wiring -----------------------------------------------------------
+    def finalize(self) -> None:
+        """Build port structures once all channels are attached."""
+        if self._finalized:
+            return
+        for direction in list(self.in_channels) + [Direction.LOCAL]:
+            self._input_ports[direction] = _InputPort(self._vcs, self._depth)
+        for direction in self.out_channels:
+            self._out_state[direction] = _OutputPortState(
+                self._vcs, self._depth
+            )
+        self._finalized = True
+
+    # -- receive paths -------------------------------------------------------
+    def _accept_flit(self, flit: Flit, in_port: Direction, cycle: int) -> None:
+        port = self._input_ports[in_port]
+        if not 0 <= flit.vc < len(port.vcs):
+            raise RuntimeError(
+                f"flit arrived at node {self.node} without a VC assignment"
+            )
+        vc = port.vcs[flit.vc]
+        if len(vc.queue) >= vc.depth:
+            raise RuntimeError(
+                f"VC overflow at node {self.node} port {in_port.name} "
+                f"vc {flit.vc}: credit protocol violated"
+            )
+        if flit.is_head:
+            if vc.owner_pid is not None:
+                raise RuntimeError(
+                    f"VC {flit.vc} at node {self.node} double-allocated: "
+                    f"owner {vc.owner_pid}, new packet {flit.pid}"
+                )
+            vc.owner_pid = flit.pid
+        elif vc.owner_pid != flit.pid:
+            raise RuntimeError(
+                f"body flit of packet {flit.pid} entered VC owned by "
+                f"{vc.owner_pid} at node {self.node}"
+            )
+        was_empty = not vc.queue
+        vc.queue.append(flit)
+        if self._realistic_bypass and was_empty:
+            self._bypass_pending.add(flit)
+        else:
+            self.energy.buffer_write(self.node)
+
+    def _accept_credit(
+        self, out_port: Direction, credit: CreditMessage, cycle: int
+    ) -> None:
+        state = self._out_state[out_port].vc_states[credit.vc]
+        if state.credits >= self._depth:
+            raise RuntimeError(
+                f"credit overflow at node {self.node} port {out_port.name}"
+            )
+        state.credits += 1
+        if credit.frees_vc:
+            state.busy = False
+
+    # -- per-cycle operation -------------------------------------------------
+    def step(self, cycle: int) -> None:
+        self.finalize()
+        self._inject(cycle)
+        self._route_and_allocate_vcs()
+        self._switch_allocation(cycle)
+        if self._bypass_pending:
+            # Bypass candidates that failed to cut through this cycle
+            # really are buffered: pay the deferred write.
+            self.energy.buffer_write(self.node, len(self._bypass_pending))
+            self._bypass_pending.clear()
+
+    # Injection: stream flits from the NI into the local input port,
+    # one flit per cycle, one packet per VC at a time (per-packet VC
+    # discipline applies to the injection port like any other).
+    def _inject(self, cycle: int) -> None:
+        if self.ni is None or not self.ni.has_pending:
+            return
+        local = self._input_ports[Direction.LOCAL]
+        vnets = list(VirtualNetwork)
+        for offset in range(len(vnets)):
+            vnet = vnets[(self._inject_rr + offset) % len(vnets)]
+            flit = self.ni.peek(vnet)
+            if flit is None:
+                continue
+            vc_idx = self._stream_vc[vnet]
+            if vc_idx is None:
+                vc_idx = self._find_free_local_vc(vnet)
+                if vc_idx is None:
+                    continue  # all local VCs of this vnet are owned
+                self._stream_vc[vnet] = vc_idx
+            vc = local.vcs[vc_idx]
+            if len(vc.queue) >= vc.depth:
+                continue  # VC full; retry next cycle
+            flit = self.ni.pop(vnet, cycle)
+            flit.vc = vc_idx
+            if flit.is_head:
+                vc.owner_pid = flit.pid
+            was_empty = not vc.queue
+            vc.queue.append(flit)
+            if self._realistic_bypass and was_empty:
+                self._bypass_pending.add(flit)
+            else:
+                self.energy.buffer_write(self.node)
+            if flit.is_tail:
+                self._stream_vc[vnet] = None
+            self._inject_rr = (self._inject_rr + offset + 1) % len(vnets)
+            return  # inject_bandwidth = 1 flit/cycle
+
+    def _find_free_local_vc(self, vnet: VirtualNetwork) -> Optional[int]:
+        local = self._input_ports[Direction.LOCAL]
+        for idx in local.ranges[vnet]:
+            if local.vcs[idx].free_for_allocation:
+                return idx
+        return None
+
+    # Routing (lookahead-equivalent) + 0-cycle VC allocation.
+    def _route_and_allocate_vcs(self) -> None:
+        for port in self._input_ports.values():
+            for vc in port.vcs:
+                if not vc.queue:
+                    continue
+                head = vc.queue[0]
+                if vc.out_port is None:
+                    assert head.is_head, "body flit reached an unrouted VC"
+                    vc.out_port = xy_route(self.mesh, self.node, head.dst)
+                if vc.out_port is Direction.LOCAL or vc.out_vc is not None:
+                    continue
+                allocated = self._out_state[vc.out_port].allocate_vc(head.vnet)
+                if allocated is not None:
+                    vc.out_vc = allocated
+                    self.energy.arbiter(self.node)
+
+    # Separable (input-first) switch allocation, one iteration.
+    def _switch_allocation(self, cycle: int) -> None:
+        requests: Dict[Direction, List[Tuple[Direction, int]]] = {}
+        for in_dir, port in self._input_ports.items():
+            chosen = self._pick_sa_candidate(port)
+            if chosen is None:
+                continue
+            vc_idx = chosen
+            out_port = port.vcs[vc_idx].out_port
+            assert out_port is not None
+            requests.setdefault(out_port, []).append((in_dir, vc_idx))
+            self.energy.arbiter(self.node)
+        for out_port, reqs in requests.items():
+            capacity = (
+                self.config.eject_bandwidth
+                if out_port is Direction.LOCAL
+                else 1
+            )
+            for in_dir, vc_idx in self._grant(out_port, reqs, capacity):
+                self._traverse(in_dir, vc_idx, out_port, cycle)
+
+    def _pick_sa_candidate(self, port: _InputPort) -> Optional[int]:
+        n = len(port.vcs)
+        for i in range(n):
+            idx = (port.sa_rr + i) % n
+            vc = port.vcs[idx]
+            if not vc.queue or vc.out_port is None:
+                continue
+            if vc.out_port is Direction.LOCAL:
+                port.sa_rr = (idx + 1) % n
+                return idx
+            if vc.out_vc is None:
+                continue
+            out_state = self._out_state[vc.out_port]
+            if out_state.vc_states[vc.out_vc].credits > 0:
+                port.sa_rr = (idx + 1) % n
+                return idx
+        return None
+
+    def _grant(
+        self,
+        out_port: Direction,
+        reqs: List[Tuple[Direction, int]],
+        capacity: int,
+    ) -> List[Tuple[Direction, int]]:
+        if len(reqs) <= capacity:
+            return reqs
+        if out_port is Direction.LOCAL:
+            start = self._eject_rr
+            self._eject_rr += capacity
+        else:
+            state = self._out_state[out_port]
+            start = state.grant_rr
+            state.grant_rr += capacity
+        ordered = sorted(reqs, key=lambda r: r[0].value)
+        return [ordered[(start + i) % len(ordered)] for i in range(capacity)]
+
+    def _traverse(
+        self,
+        in_dir: Direction,
+        vc_idx: int,
+        out_port: Direction,
+        cycle: int,
+    ) -> None:
+        vc = self._input_ports[in_dir].vcs[vc_idx]
+        flit = vc.queue.popleft()
+        if flit in self._bypass_pending:
+            self._bypass_pending.discard(flit)  # cut-through: no write/read
+        else:
+            self.energy.buffer_read(self.node)
+        self.stats.record_switch_traversal()
+        if out_port is Direction.LOCAL:
+            flit.vc = -1
+            self._eject(flit, cycle)
+        else:
+            out_vc = vc.out_vc
+            assert out_vc is not None
+            state = self._out_state[out_port].vc_states[out_vc]
+            assert state.credits > 0, "SA granted without credit"
+            state.credits -= 1
+            flit.vc = out_vc
+            self._dispatch(flit, out_port, cycle)
+        if in_dir is not Direction.LOCAL:
+            self.in_channels[in_dir].send_credit(
+                CreditMessage(
+                    vnet=flit.vnet, vc=vc_idx, frees_vc=flit.is_tail
+                ),
+                cycle,
+            )
+            self.energy.credit(self.node)
+        if flit.is_tail:
+            vc.reset_packet_state()
+
+    # -- introspection --------------------------------------------------------
+    def buffered_flits(self) -> int:
+        return sum(port.occupancy() for port in self._input_ports.values())
+
+    def vc_occupancies(self) -> Dict[Direction, List[int]]:
+        """Per-port, per-VC queue depths (debug/inspection helper)."""
+        return {
+            direction: [len(vc.queue) for vc in port.vcs]
+            for direction, port in self._input_ports.items()
+        }

@@ -1,0 +1,243 @@
+"""Backpressureless (deflection / hot-potato) router.
+
+The paper's preferred backpressureless variant (Section II): flit-by-flit
+deflection routing in the style of BLESS, with Chaos-style *randomized*
+port allocation instead of hardware age priorities — livelock freedom is
+probabilistic, which Section II argues is a strong guarantee.
+
+Operation per cycle:
+
+1. every flit that arrived this cycle sits in a pipeline latch (there
+   are no input buffers);
+2. up to ``eject_bandwidth`` latched flits at their destination leave
+   through the ejection port;
+3. the remaining flits are served in a random permutation; each takes a
+   free *productive* port if one exists (DOR-preferred), otherwise a
+   free non-productive port — a deflection;
+4. a new flit is injected only if a network output port is still free
+   after all network flits have been placed (footnote 3 of the paper);
+5. all placed flits traverse the switch and their links.
+
+The deflection invariant — at most as many resident flits as network
+ports — holds structurally: a router can receive at most one flit per
+input link per cycle, and it dispatches every one of them in the same
+cycle.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..network.config import Design, NetworkConfig
+from ..network.energy_hooks import EnergyMeter
+from ..network.flit import Flit, VirtualNetwork
+from ..network.router_base import BaseRouter
+from ..network.routing import productive_ports
+from ..network.stats import StatsCollector
+from ..network.topology import Direction, Mesh
+
+
+def age_key(flit: Flit) -> Tuple[int, int, int]:
+    """Oldest-first ordering for age-priority deflection: injection
+    time, then packet id, then sequence number (a total order, as
+    hardware age priorities require)."""
+    injected = flit.injected_at if flit.injected_at is not None else 0
+    return (injected, flit.pid, flit.seq)
+
+
+def allocate_deflection_ports(
+    mesh: Mesh,
+    node: int,
+    rng: random.Random,
+    flits: List[Flit],
+    ports: List[Direction],
+    port_allowed: Callable[[Flit, Direction], bool],
+    sort_key: Optional[Callable[[Flit], object]] = None,
+) -> Tuple[Dict[Direction, Flit], List[Flit]]:
+    """Deflection port allocation.
+
+    Serves ``flits`` in a random permutation (Chaos-style, the paper's
+    preferred priority-free variant) or, when ``sort_key`` is given, in
+    that deterministic order (e.g. :func:`age_key` for BLESS-style
+    oldest-first priorities).  Each flit takes, in order of preference,
+    a free allowed productive port (DOR port first), then a free
+    allowed non-productive port (chosen at random — a deflection).
+    Returns the port assignment and the flits that could not be placed
+    at all.
+
+    With ``port_allowed`` always true (the pure deflection router) and
+    ``len(flits) <= len(ports)``, the unplaced list is provably empty —
+    masking ports (AFC's credit tracking toward backpressured
+    neighbours) is the only way a flit can be left over.
+    """
+    order = list(flits)
+    if sort_key is None:
+        rng.shuffle(order)
+    else:
+        order.sort(key=sort_key)
+    assignment: Dict[Direction, Flit] = {}
+    unplaced: List[Flit] = []
+    for flit in order:
+        preferred = productive_ports(mesh, node, flit.dst)
+        chosen: Optional[Direction] = None
+        for port in preferred:
+            if (
+                port in ports
+                and port not in assignment
+                and port_allowed(flit, port)
+            ):
+                chosen = port
+                break
+        if chosen is None:
+            free = [
+                p
+                for p in ports
+                if p not in assignment and port_allowed(flit, p)
+            ]
+            if free:
+                chosen = rng.choice(free)
+                flit.deflections += 1
+        if chosen is None:
+            unplaced.append(flit)
+        else:
+            assignment[chosen] = flit
+    return assignment, unplaced
+
+
+class BackpressurelessRouter(BaseRouter):
+    """Pure deflection router (no buffers, no credits).
+
+    Port allocation is randomized (``_sort_key = None``); the
+    :class:`PriorityDeflectionRouter` subclass overrides it with
+    oldest-first age priorities.
+    """
+
+    design = Design.BACKPRESSURELESS
+    #: Service order for port allocation and ejection; ``None`` means a
+    #: random permutation each cycle.
+    _sort_key = None
+
+    def __init__(
+        self,
+        node: int,
+        config: NetworkConfig,
+        mesh: Mesh,
+        rng: random.Random,
+        stats: StatsCollector,
+        energy: Optional[EnergyMeter] = None,
+    ) -> None:
+        super().__init__(node, config, mesh, rng, stats, energy)
+        self._latched: List[Flit] = []
+        self._inject_rr = 0
+
+    def finalize(self) -> None:
+        """No per-port structures to build (kept for interface parity)."""
+
+    # -- receive path -------------------------------------------------------
+    def _accept_flit(self, flit: Flit, in_port: Direction, cycle: int) -> None:
+        self._latched.append(flit)
+        self.energy.latch(self.node)
+
+    # -- per-cycle operation ----------------------------------------------------
+    def step(self, cycle: int) -> None:
+        resident = self._latched
+        self._latched = []
+        if len(resident) > len(self.network_ports):
+            raise RuntimeError(
+                f"deflection invariant violated at node {self.node}: "
+                f"{len(resident)} flits, {len(self.network_ports)} ports"
+            )
+        remaining = self._eject_arrivals(resident, cycle)
+        assignment, unplaced = allocate_deflection_ports(
+            self.mesh,
+            self.node,
+            self.rng,
+            remaining,
+            self.network_ports,
+            port_allowed=lambda _flit, _port: True,
+            sort_key=self._sort_key,
+        )
+        if unplaced:
+            raise RuntimeError(
+                f"deflection router failed to place {len(unplaced)} flits "
+                f"at node {self.node}"
+            )
+        self._inject(assignment, cycle)
+        for out_port, flit in assignment.items():
+            self.energy.arbiter(self.node)
+            self.stats.record_switch_traversal()
+            self._dispatch(flit, out_port, cycle)
+
+    def _eject_arrivals(self, resident: List[Flit], cycle: int) -> List[Flit]:
+        """Eject up to ``eject_bandwidth`` flits at their destination.
+
+        Randomized choice among candidates (no priorities); losers stay
+        resident and will deflect.
+        """
+        candidates = [f for f in resident if f.dst == self.node]
+        if not candidates:
+            return resident
+        if self._sort_key is None:
+            self.rng.shuffle(candidates)
+        else:
+            candidates.sort(key=self._sort_key)
+        ejected = set()
+        for flit in candidates[: self.config.eject_bandwidth]:
+            self.stats.record_switch_traversal()
+            self._eject(flit, cycle)
+            ejected.add(id(flit))
+        return [f for f in resident if id(f) not in ejected]
+
+    def _inject(
+        self, assignment: Dict[Direction, Flit], cycle: int
+    ) -> None:
+        """Inject one flit if an output port remains free."""
+        if self.ni is None or not self.ni.has_pending:
+            return
+        free = [p for p in self.network_ports if p not in assignment]
+        if not free:
+            return
+        vnets = list(VirtualNetwork)
+        for offset in range(len(vnets)):
+            vnet = vnets[(self._inject_rr + offset) % len(vnets)]
+            if self.ni.peek(vnet) is None:
+                continue
+            flit = self.ni.pop(vnet, cycle)
+            chosen: Optional[Direction] = None
+            for port in productive_ports(self.mesh, self.node, flit.dst):
+                if port in free:
+                    chosen = port
+                    break
+            if chosen is None:
+                chosen = self.rng.choice(free)
+                flit.deflections += 1
+            assignment[chosen] = flit
+            self._inject_rr = (self._inject_rr + offset + 1) % len(vnets)
+            return
+
+    # -- introspection --------------------------------------------------------
+    def resident_flits(self) -> int:
+        return len(self._latched)
+
+    @property
+    def buffers_power_gated(self) -> bool:
+        return True  # there are no buffers at all
+
+
+class PriorityDeflectionRouter(BackpressurelessRouter):
+    """Deflection routing with hardware age priorities (BLESS-style).
+
+    The oldest flit at each router is served first (and is therefore
+    never misrouted while a productive port exists), which makes
+    livelock freedom *deterministic*.  The paper argues this guarantee
+    is unnecessary — randomization plus probabilistically vanishing
+    misroute chains suffice — and costs both a slower allocator and an
+    age field on every flit (reflected in this design's wider
+    control bits, see :data:`repro.network.config.CONTROL_BITS`).
+    Implemented so the argument can be evaluated quantitatively:
+    see ``benchmarks/bench_backpressureless_variants.py``.
+    """
+
+    design = Design.BACKPRESSURELESS_PRIORITY
+    _sort_key = staticmethod(age_key)

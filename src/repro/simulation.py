@@ -1,0 +1,268 @@
+"""Network construction and the cycle loop.
+
+:class:`Network` assembles a mesh of routers of one design, wires the
+channels, and drives the two-phase per-cycle protocol (deliver, then
+step).  Routers interact exclusively through channel delay lines, so the
+iteration order over routers is immaterial.
+
+Typical use::
+
+    from repro import Design, NetworkConfig, Network
+
+    net = Network(NetworkConfig(), Design.AFC, seed=1)
+    net.interface(0).offer(packet)
+    net.run(10_000)
+    print(net.stats.avg_packet_latency, net.measured_energy().total)
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .core.afc_router import AfcRouter
+from .energy.model import (
+    DEFAULT_ENERGY_PARAMETERS,
+    EnergyBreakdown,
+    EnergyParameters,
+    OrionEnergyMeter,
+)
+from .network.config import Design, NetworkConfig
+from .network.energy_hooks import EnergyMeter, NullEnergyMeter
+from .network.interface import NetworkInterface
+from .network.link import Channel
+from .network.reassembly import CompletedPacket
+from .network.router_base import BaseRouter
+from .network.stats import StatsCollector
+from .network.flit import Flit
+from .routers.backpressured import BackpressuredRouter
+from .routers.backpressureless import (
+    BackpressurelessRouter,
+    PriorityDeflectionRouter,
+)
+from .routers.dropping import DroppingRouter
+
+
+def _make_router(
+    design: Design,
+    node: int,
+    config: NetworkConfig,
+    mesh,
+    rng: random.Random,
+    stats: StatsCollector,
+    energy: EnergyMeter,
+) -> BaseRouter:
+    if design.is_backpressured_baseline:
+        return BackpressuredRouter(
+            node, config, mesh, rng, stats, energy, design=design
+        )
+    if design is Design.BACKPRESSURELESS:
+        return BackpressurelessRouter(node, config, mesh, rng, stats, energy)
+    if design is Design.BACKPRESSURELESS_PRIORITY:
+        return PriorityDeflectionRouter(
+            node, config, mesh, rng, stats, energy
+        )
+    if design is Design.BACKPRESSURELESS_DROPPING:
+        return DroppingRouter(node, config, mesh, rng, stats, energy)
+    return AfcRouter(node, config, mesh, rng, stats, energy, design=design)
+
+
+class Network:
+    """A complete simulated on-chip network of one design."""
+
+    def __init__(
+        self,
+        config: NetworkConfig,
+        design: Design,
+        seed: int = 0,
+        with_energy: bool = True,
+        energy_params: EnergyParameters = DEFAULT_ENERGY_PARAMETERS,
+        on_packet: Optional[Callable[[int, CompletedPacket], None]] = None,
+    ) -> None:
+        self.config = config
+        self.design = design
+        self.mesh = config.mesh
+        self.cycle = 0
+        self.stats = StatsCollector(self.mesh.num_nodes)
+        self.energy: EnergyMeter
+        if with_energy:
+            self.energy = OrionEnergyMeter(config, design, energy_params)
+        else:
+            self.energy = NullEnergyMeter()
+        self._energy_base = EnergyBreakdown()
+
+        self.routers: List[BaseRouter] = []
+        self.interfaces: List[NetworkInterface] = []
+        for node in range(self.mesh.num_nodes):
+            # Per-router RNG streams keep results independent of router
+            # iteration order and of each other.
+            rng = random.Random(f"{seed}:{node}")
+            router = _make_router(
+                design, node, config, self.mesh, rng, self.stats, self.energy
+            )
+            callback = None
+            if on_packet is not None:
+                callback = (
+                    lambda done, _node=node: on_packet(_node, done)
+                )
+            ni = NetworkInterface(node, self.stats, on_packet=callback)
+            router.attach_interface(ni)
+            self.routers.append(router)
+            self.interfaces.append(ni)
+
+        #: Dropped packets awaiting retransmission: (due_cycle, seq, pkt).
+        self._retransmit_heap: List[Tuple[int, int, object]] = []
+        self._retransmit_seq = itertools.count()
+        #: Packet ids with a retransmission already scheduled (several
+        #: flits of one packet may be dropped before it is resent).
+        self._retransmit_pending: set = set()
+        #: Flits that vanished at a dropping router (their packet is
+        #: resent in full); part of the conservation ledger.
+        self.flits_discarded = 0
+        for router in self.routers:
+            if isinstance(router, DroppingRouter):
+                router.drop_notify = self._packet_dropped
+
+        self.channels: List[Channel] = []
+        for src, direction, dst in self.mesh.links():
+            channel = Channel(src, direction, dst, config.link_latency)
+            self.routers[src].attach_output(direction, channel)
+            self.routers[dst].attach_input(direction.opposite, channel)
+            self.channels.append(channel)
+        for router in self.routers:
+            router.finalize()  # type: ignore[attr-defined]
+
+    # -- client access ------------------------------------------------------
+    def interface(self, node: int) -> NetworkInterface:
+        return self.interfaces[node]
+
+    def router(self, node: int) -> BaseRouter:
+        return self.routers[node]
+
+    # -- retransmission (dropping flow control only) -----------------------------
+    def _packet_dropped(self, flit: Flit, at_cycle: int) -> None:
+        """A dropping router discarded ``flit``.
+
+        SCARAB-style semantics: the *whole packet* is retransmitted
+        from the source once the NACK arrives.  The packet's epoch is
+        bumped immediately so every sibling flit still in flight (or
+        queued) becomes stale and is discarded at the destination.
+        """
+        self.flits_discarded += 1
+        packet = flit.packet
+        if flit.epoch < packet.epoch:
+            return  # stale flit of a superseded attempt: discard only
+        if packet.pid in self._retransmit_pending:
+            return  # retransmission already scheduled for this epoch
+        packet.epoch += 1
+        self._retransmit_pending.add(packet.pid)
+        heapq.heappush(
+            self._retransmit_heap,
+            (at_cycle, next(self._retransmit_seq), packet),
+        )
+
+    def _deliver_retransmits(self, cycle: int) -> None:
+        while self._retransmit_heap and self._retransmit_heap[0][0] <= cycle:
+            _, _, packet = heapq.heappop(self._retransmit_heap)
+            self._retransmit_pending.discard(packet.pid)
+            purged = self.interfaces[packet.src].offer_retransmission(packet)
+            self.flits_discarded += purged
+
+    @property
+    def flits_awaiting_retransmit(self) -> int:
+        """Flits of dropped packets not yet re-offered at their source."""
+        return sum(
+            packet.num_flits for _, _, packet in self._retransmit_heap
+        )
+
+    # -- cycle loop -----------------------------------------------------------
+    def step(self) -> None:
+        """Advance the network by one cycle."""
+        cycle = self.cycle
+        self._deliver_retransmits(cycle)
+        for router in self.routers:
+            router.deliver(cycle)
+        for router in self.routers:
+            router.step(cycle)
+        self.energy.static_cycle(self.routers)
+        self.stats.tick()
+        self.cycle += 1
+
+    def run(self, cycles: int) -> None:
+        for _ in range(cycles):
+            self.step()
+
+    def drain(self, max_cycles: int = 100_000) -> int:
+        """Run until every offered flit has been delivered.
+
+        Returns the number of extra cycles taken; raises if the network
+        fails to drain within ``max_cycles`` (a deadlock/livelock
+        indicator in tests).
+        """
+        start = self.cycle
+        while self.flits_unaccounted > 0:
+            if self.cycle - start >= max_cycles:
+                raise RuntimeError(
+                    f"network failed to drain within {max_cycles} cycles; "
+                    f"{self.flits_unaccounted} flits outstanding"
+                )
+            self.step()
+        return self.cycle - start
+
+    # -- measurement windows -------------------------------------------------------
+    def begin_measurement(self) -> None:
+        """End warmup: zero the statistics and energy windows."""
+        self.stats.reset_measurement(self.cycle)
+        if isinstance(self.energy, OrionEnergyMeter):
+            self._energy_base = self.energy.snapshot()
+
+    def measured_energy(self) -> EnergyBreakdown:
+        """Energy accumulated since :meth:`begin_measurement`."""
+        if isinstance(self.energy, OrionEnergyMeter):
+            return self.energy.since(self._energy_base)
+        return EnergyBreakdown()
+
+    # -- invariants ----------------------------------------------------------------
+    @property
+    def flits_in_network(self) -> int:
+        """Flits in links, latches and buffers (not source queues)."""
+        in_links = sum(ch.flits_in_flight for ch in self.channels)
+        in_routers = sum(r.resident_flits() for r in self.routers)
+        return in_links + in_routers
+
+    @property
+    def flits_at_sources(self) -> int:
+        return sum(ni.source_queue_flits for ni in self.interfaces)
+
+    @property
+    def flits_unaccounted(self) -> int:
+        """Work still owed to clients: flits in sources or the network,
+        plus packets awaiting retransmission (used by :meth:`drain` as
+        the progress condition)."""
+        return (
+            self.flits_in_network
+            + self.flits_at_sources
+            + self.flits_awaiting_retransmit
+        )
+
+    def check_flit_conservation(self) -> None:
+        """Offered == delivered + in-network + still-at-source.
+
+        Uses the interfaces' absolute counters (not the resettable
+        measurement-window statistics), so it is valid at any point of
+        a simulation, including after ``begin_measurement``.  Cheap
+        enough to call every few cycles in tests; raises on any loss or
+        duplication.
+        """
+        offered = sum(ni.flits_offered_total for ni in self.interfaces)
+        delivered = sum(ni.flits_ejected_total for ni in self.interfaces)
+        outstanding = self.flits_in_network + self.flits_at_sources
+        discarded = self.flits_discarded
+        if offered != delivered + outstanding + discarded:
+            raise RuntimeError(
+                f"flit conservation violated: offered={offered}, "
+                f"delivered={delivered}, outstanding={outstanding}, "
+                f"discarded={discarded}"
+            )

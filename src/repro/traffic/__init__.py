@@ -1,0 +1,60 @@
+"""Traffic generation.
+
+* :mod:`repro.traffic.patterns` — destination patterns (uniform random,
+  transpose, bit-complement, hotspot, quadrant-local, near-neighbour).
+* :mod:`repro.traffic.synthetic` — open-loop Bernoulli packet sources
+  (the paper's synthetic-traffic and spatial-variation experiments).
+* :mod:`repro.traffic.workloads` — the six paper workloads as calibrated
+  closed-loop profiles for :mod:`repro.memsys`.
+"""
+
+from .patterns import (
+    BitComplement,
+    BitReverse,
+    Hotspot,
+    NearNeighbor,
+    QuadrantLocal,
+    Shuffle,
+    Tornado,
+    TrafficPattern,
+    Transpose,
+    UniformRandom,
+)
+from .synthetic import OpenLoopSource, PacketMix
+from .trace import (
+    TraceRecord,
+    TraceRecorder,
+    TraceReplaySource,
+    TrafficTrace,
+)
+from .workloads import (
+    WORKLOADS,
+    HIGH_LOAD_WORKLOADS,
+    LOW_LOAD_WORKLOADS,
+    WorkloadProfile,
+    with_phases,
+)
+
+__all__ = [
+    "BitComplement",
+    "BitReverse",
+    "HIGH_LOAD_WORKLOADS",
+    "Hotspot",
+    "Shuffle",
+    "Tornado",
+    "LOW_LOAD_WORKLOADS",
+    "NearNeighbor",
+    "OpenLoopSource",
+    "PacketMix",
+    "QuadrantLocal",
+    "TraceRecord",
+    "TraceRecorder",
+    "TraceReplaySource",
+    "TrafficPattern",
+    "TrafficTrace",
+    "Transpose",
+    "UniformRandom",
+    "WORKLOADS",
+    "WorkloadProfile",
+    "with_phases",
+]

@@ -1,0 +1,94 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+import pytest
+
+from repro import Design, Network, NetworkConfig, Packet, VirtualNetwork
+from repro.network.flit import reset_packet_ids
+
+
+ALL_DESIGNS = list(Design)
+
+#: The three genuinely distinct router datapaths (ideal-bypass shares
+#: the baseline's, always-backpressured shares AFC's).
+DATAPATH_DESIGNS = [
+    Design.BACKPRESSURED,
+    Design.BACKPRESSURELESS,
+    Design.AFC,
+]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_packet_ids():
+    """Keep packet ids deterministic per test."""
+    reset_packet_ids()
+    yield
+
+
+@pytest.fixture
+def config() -> NetworkConfig:
+    return NetworkConfig()
+
+
+def make_network(
+    design: Design,
+    config: Optional[NetworkConfig] = None,
+    seed: int = 1,
+    **kwargs,
+) -> Network:
+    return Network(config or NetworkConfig(), design, seed=seed, **kwargs)
+
+
+def offer_random_burst(
+    net: Network,
+    num_packets: int,
+    seed: int = 7,
+    data_fraction: float = 0.3,
+) -> List[Packet]:
+    """Queue a random batch of packets at cycle 0."""
+    rng = random.Random(seed)
+    cfg = net.config
+    n = net.mesh.num_nodes
+    packets = []
+    for _ in range(num_packets):
+        src = rng.randrange(n)
+        dst = rng.randrange(n - 1)
+        dst = dst if dst < src else dst + 1
+        if rng.random() < data_fraction:
+            vnet, flits = VirtualNetwork.DATA, cfg.data_packet_flits
+        else:
+            vnet = rng.choice(
+                [VirtualNetwork.CONTROL_REQ, VirtualNetwork.CONTROL_RESP]
+            )
+            flits = cfg.control_packet_flits
+        packet = Packet(
+            src=src,
+            dst=dst,
+            vnet=vnet,
+            num_flits=flits,
+            created_at=net.cycle,
+        )
+        net.interface(src).offer(packet)
+        packets.append(packet)
+    return packets
+
+
+def single_packet_network(
+    design: Design,
+    src: int = 0,
+    dst: int = 8,
+    num_flits: int = 2,
+    vnet: VirtualNetwork = VirtualNetwork.CONTROL_REQ,
+    config: Optional[NetworkConfig] = None,
+) -> tuple:
+    """A network with exactly one packet queued; returns (net, packet)."""
+    net = make_network(design, config=config)
+    packet = Packet(
+        src=src, dst=dst, vnet=vnet, num_flits=num_flits, created_at=0
+    )
+    net.interface(src).offer(packet)
+    return net, packet

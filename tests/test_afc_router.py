@@ -1,0 +1,315 @@
+"""Tests for the AFC router: dual datapaths, mode switches, gossip."""
+
+import pytest
+
+from repro import Design, Direction, Mode, Packet, VirtualNetwork
+from repro.core.afc_router import AfcRouter
+from repro.network.link import CreditMessage, ModeNotice, ModeNotification
+from repro.traffic.synthetic import uniform_random_traffic
+
+from conftest import make_network, offer_random_burst, single_packet_network
+
+
+def flit_to(dst, src=0, vnet=VirtualNetwork.CONTROL_REQ):
+    real_src = src if src != dst else (dst + 1) % 9
+    packet = Packet(
+        src=real_src, dst=dst, vnet=vnet, num_flits=1, created_at=0
+    )
+    return next(packet.flits())
+
+
+class TestInitialModes:
+    def test_adaptive_starts_backpressureless(self):
+        net = make_network(Design.AFC)
+        assert all(r.mode is Mode.BACKPRESSURELESS for r in net.routers)
+        assert all(r.buffers_power_gated for r in net.routers)
+
+    def test_pinned_starts_backpressured(self):
+        net = make_network(Design.AFC_ALWAYS_BACKPRESSURED)
+        assert all(r.mode is Mode.BACKPRESSURED for r in net.routers)
+        assert not any(r.buffers_power_gated for r in net.routers)
+
+    def test_pinned_neighbors_track_from_start(self):
+        net = make_network(Design.AFC_ALWAYS_BACKPRESSURED)
+        router = net.router(4)
+        assert all(nb.tracking for nb in router._neighbors.values())
+
+    def test_rejects_non_afc_design(self):
+        import random
+
+        from repro import Mesh, NetworkConfig, StatsCollector
+
+        with pytest.raises(ValueError):
+            AfcRouter(
+                0,
+                NetworkConfig(),
+                Mesh(3, 3),
+                random.Random(0),
+                StatsCollector(9),
+                design=Design.BACKPRESSURED,
+            )
+
+
+class TestZeroLoadLatency:
+    def test_matches_other_designs(self):
+        """Table I: all three designs share the 2-stage pipeline."""
+        latencies = {}
+        for design in (
+            Design.BACKPRESSURED,
+            Design.BACKPRESSURELESS,
+            Design.AFC,
+            Design.AFC_ALWAYS_BACKPRESSURED,
+        ):
+            net, _ = single_packet_network(design, src=0, dst=8, num_flits=1)
+            net.drain()
+            latencies[design] = net.stats.avg_network_latency
+        assert len(set(latencies.values())) == 1
+
+
+class TestForwardSwitch:
+    def test_high_load_triggers_switch(self):
+        net = make_network(Design.AFC)
+        traffic = uniform_random_traffic(net, rate=0.7, seed=5)
+        traffic.run(1500)
+        assert any(r.mode is Mode.BACKPRESSURED for r in net.routers)
+        assert (
+            sum(m.forward_switches for m in net.stats.mode_stats.values())
+            > 0
+        )
+
+    def test_transition_window_timing(self):
+        net = make_network(Design.AFC)
+        router = net.router(4)
+        router._begin_forward(cycle=net.cycle, gossip=False)
+        # Pin the EWMA high so the idle network does not immediately
+        # reverse-switch once backpressured operation begins.
+        router._mode.ewma = 10.0
+        window = router._mode.transition_window
+        assert window == 2 * net.config.link_latency + 1
+        for _ in range(window):
+            assert router.mode is not Mode.BACKPRESSURED
+            net.step()
+            router._mode.ewma = 10.0  # record_load decays it each step
+        net.step()
+        assert router.mode is Mode.BACKPRESSURED
+
+    def test_completed_switch_reverts_when_idle(self):
+        """With no load, the forward switch completes and the router
+        immediately takes the reverse switch (EWMA ~ 0, buffers empty)."""
+        net = make_network(Design.AFC)
+        router = net.router(4)
+        router._begin_forward(cycle=net.cycle, gossip=False)
+        for _ in range(router._mode.transition_window + 2):
+            net.step()
+        assert router.mode is Mode.BACKPRESSURELESS
+        assert net.stats.mode(4).reverse_switches == 1
+
+    def test_notice_reaches_neighbors_after_l(self):
+        net = make_network(Design.AFC)
+        router = net.router(4)
+        start = net.cycle
+        router._begin_forward(cycle=start, gossip=False)
+        west_neighbor = net.router(3)
+        state = west_neighbor._neighbors[Direction.EAST]  # toward node 4
+        # The notice is deliverable at cycle L, i.e. it takes effect in
+        # the deliver phase of the (L+1)-th step from here.
+        for _ in range(net.config.link_latency):
+            assert not state.tracking
+            net.step()
+        assert not state.tracking
+        net.step()
+        assert state.tracking
+
+    def test_deflects_during_transition(self):
+        net = make_network(Design.AFC)
+        router = net.router(4)
+        router._begin_forward(cycle=net.cycle, gossip=False)
+        flit = flit_to(dst=0, src=5)
+        router._accept_flit(flit, Direction.EAST, cycle=net.cycle)
+        assert len(router._latched) == 1  # latched, not buffered
+        assert router.buffered_flits() == 0
+
+
+class TestReverseSwitch:
+    def test_idle_network_reverts(self):
+        net = make_network(Design.AFC)
+        traffic = uniform_random_traffic(net, rate=0.7, seed=5)
+        traffic.run(1500)
+        assert any(r.mode is Mode.BACKPRESSURED for r in net.routers)
+        net.drain(max_cycles=50_000)
+        net.run(1200)  # EWMA must decay below the low threshold
+        assert all(r.mode is Mode.BACKPRESSURELESS for r in net.routers)
+        assert (
+            sum(m.reverse_switches for m in net.stats.mode_stats.values())
+            > 0
+        )
+
+    def test_stop_notice_resets_neighbor_credits(self):
+        net = make_network(Design.AFC)
+        router = net.router(4)
+        west = net.router(3)
+        state = west._neighbors[Direction.EAST]
+        state.start_tracking((0, 0, 0))
+        state.on_send(VirtualNetwork.DATA)
+        west._accept_mode_notice(
+            Direction.EAST,
+            ModeNotification(kind=ModeNotice.STOP_CREDITS),
+            cycle=0,
+        )
+        assert not state.tracking
+        assert state.credits[VirtualNetwork.DATA] == 16
+
+    def test_reverse_blocked_by_buffered_flits(self):
+        net = make_network(Design.AFC)
+        router = net.router(4)
+        # Force into backpressured mode with an occupied buffer.
+        router._mode.mode = Mode.BACKPRESSURED
+        router._input_ports[Direction.EAST].insert(flit_to(dst=0, src=5))
+        router._mode.ewma = 0.0
+        router._adapt(net.cycle)
+        assert router.mode is Mode.BACKPRESSURED  # cannot revert yet
+
+
+class TestGossip:
+    def test_low_neighbor_credits_force_switch(self):
+        """Section III-D: the sledgehammer response."""
+        net = make_network(Design.AFC)
+        router = net.router(4)
+        state = router._neighbors[Direction.EAST]
+        state.start_tracking((0, 0, 0))
+        # Drain the neighbour's free slots below X = 2L.
+        while state.total_free >= net.config.gossip_threshold:
+            for vnet in VirtualNetwork:
+                if state.credits[vnet] > 0:
+                    state.on_send(vnet)
+                    break
+        router._adapt(net.cycle)
+        assert router.mode is Mode.TRANSITION
+        assert net.stats.mode(4).gossip_switches == 1
+
+    def test_ample_credits_do_not_trigger(self):
+        net = make_network(Design.AFC)
+        router = net.router(4)
+        state = router._neighbors[Direction.EAST]
+        state.start_tracking((0, 0, 0))
+        router._adapt(net.cycle)
+        assert router.mode is Mode.BACKPRESSURELESS
+
+    def test_credit_masking_in_deflection_mode(self):
+        """A backpressureless AFC router never sends to a tracked
+        neighbour whose vnet credits are exhausted (the scalpel)."""
+        net = make_network(Design.AFC)
+        router = net.router(3)  # west edge: EAST goes to center
+        state = router._neighbors[Direction.EAST]
+        state.start_tracking((0, 0, 0))
+        state.credits[VirtualNetwork.CONTROL_REQ] = 0
+        flit = flit_to(dst=5, src=0)  # wants EAST
+        router._accept_flit(flit, Direction.WEST, cycle=net.cycle)
+        router.step(net.cycle)
+        east_channel = router.out_channels[Direction.EAST]
+        assert east_channel.flits_in_flight == 0  # went elsewhere
+        assert flit.deflections == 1
+
+
+class TestEmergencyBuffering:
+    def _exhaust_all_ports(self, net, router):
+        for direction, state in router._neighbors.items():
+            state.start_tracking((0, 0, 0))
+            for vnet in VirtualNetwork:
+                state.credits[vnet] = 0
+        # give credits back on vnets the flit does NOT use, so the
+        # gossip metric alone would not have saved it
+        return router
+
+    def test_unplaceable_flit_is_buffered_not_lost(self):
+        net = make_network(Design.AFC)
+        router = self._exhaust_all_ports(net, net.router(0))
+        flit = flit_to(dst=8, src=1)
+        router._accept_flit(flit, Direction.EAST, cycle=net.cycle)
+        router.step(net.cycle)
+        assert router.buffered_flits() == 1
+        assert router.mode is Mode.TRANSITION  # forced forward switch
+        assert net.stats.mode(0).gossip_switches == 1
+
+    def test_emergency_during_transition_sends_debit(self):
+        net = make_network(Design.AFC)
+        router = self._exhaust_all_ports(net, net.router(0))
+        router._begin_forward(cycle=net.cycle, gossip=False)
+        flit = flit_to(dst=8, src=1)
+        router._accept_flit(flit, Direction.EAST, cycle=net.cycle)
+        router.step(net.cycle)
+        assert router.buffered_flits() == 1
+        backflow = router.in_channels[Direction.EAST]._backflow
+        debits = [
+            item
+            for _, (kind, item) in backflow._items
+            if kind == "credit" and item.debit
+        ]
+        assert len(debits) == 1
+
+    def test_emergency_flit_drains_in_backpressured_mode(self):
+        net = make_network(Design.AFC)
+        router = self._exhaust_all_ports(net, net.router(0))
+        flit = flit_to(dst=8, src=1)
+        router._accept_flit(flit, Direction.EAST, cycle=net.cycle)
+        router.step(net.cycle)
+        # Restore neighbour credit so the flit can leave once buffered
+        # operation starts.
+        for state in router._neighbors.values():
+            state.stop_tracking()
+        net.drain(max_cycles=1000)
+        assert router.buffered_flits() == 0
+        assert net.stats.flits_ejected == 1
+
+
+class TestAlwaysBackpressured:
+    def test_never_switches(self):
+        net = make_network(Design.AFC_ALWAYS_BACKPRESSURED)
+        offer_random_burst(net, 120)
+        net.drain(max_cycles=20_000)
+        modes = net.stats.mode_stats.values()
+        assert all(m.forward_switches == 0 for m in modes)
+        assert all(m.reverse_switches == 0 for m in modes)
+        assert all(r.mode is Mode.BACKPRESSURED for r in net.routers)
+
+    def test_no_deflections_ever(self):
+        net = make_network(Design.AFC_ALWAYS_BACKPRESSURED)
+        offer_random_burst(net, 120)
+        net.drain(max_cycles=20_000)
+        assert net.stats.deflections == 0
+
+    def test_burst_conservation(self):
+        net = make_network(Design.AFC_ALWAYS_BACKPRESSURED)
+        offer_random_burst(net, 120)
+        net.drain(max_cycles=20_000)
+        net.check_flit_conservation()
+
+
+class TestAdaptiveEndToEnd:
+    def test_burst_conservation(self):
+        net = make_network(Design.AFC)
+        offer_random_burst(net, 150)
+        net.drain(max_cycles=30_000)
+        net.check_flit_conservation()
+        assert net.stats.packets_completed == 150
+
+    def test_credits_sent_on_backpressured_dequeue(self):
+        net = make_network(Design.AFC_ALWAYS_BACKPRESSURED)
+        offer_random_burst(net, 10)
+        net.drain(max_cycles=10_000)
+        net.run(net.config.link_latency + 1)  # let final credits land
+        # all upstream credit mirrors restored to full
+        for router in net.routers:
+            for state in router._neighbors.values():
+                for vnet in VirtualNetwork:
+                    assert state.credits[vnet] == state.capacity[vnet]
+
+    def test_power_gating_follows_mode_and_occupancy(self):
+        net = make_network(Design.AFC)
+        router = net.router(4)
+        assert router.buffers_power_gated
+        router._mode.mode = Mode.BACKPRESSURED
+        assert not router.buffers_power_gated
+        router._mode.mode = Mode.BACKPRESSURELESS
+        router._input_ports[Direction.EAST].insert(flit_to(dst=0, src=5))
+        assert not router.buffers_power_gated

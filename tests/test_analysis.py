@@ -1,0 +1,151 @@
+"""Tests for the analysis package (histograms, probes, reports)."""
+
+import pytest
+
+from repro import Design
+from repro.analysis import (
+    TimeSeriesProbe,
+    channel_utilization,
+    latency_histogram,
+    simulation_report,
+)
+from repro.analysis.histogram import build_histogram
+from repro.traffic.synthetic import uniform_random_traffic
+
+from conftest import make_network, offer_random_burst
+
+
+class TestHistogram:
+    def test_empty(self):
+        hist = build_histogram([])
+        assert hist.total == 0
+        assert hist.render() == "(empty histogram)"
+
+    def test_binning(self):
+        hist = build_histogram([0, 1, 7, 8, 9, 25], bin_width=8)
+        assert hist.counts == [3, 2, 0, 1]
+        assert hist.total == 6
+        assert hist.minimum == 0
+        assert hist.maximum == 25
+
+    def test_bin_range(self):
+        hist = build_histogram([5], bin_width=10)
+        assert hist.bin_range(0) == (0, 10)
+        assert hist.bin_range(3) == (30, 40)
+
+    def test_percentiles(self):
+        values = list(range(100))
+        hist = build_histogram(values, bin_width=10)
+        assert hist.p50 == 50
+        assert hist.p95 == 95
+        assert hist.p99 == 99
+        assert hist.mean == pytest.approx(49.5)
+
+    def test_invalid_bin_width(self):
+        with pytest.raises(ValueError):
+            build_histogram([1], bin_width=0)
+
+    def test_render_merges_rows(self):
+        values = list(range(0, 1000, 3))
+        hist = build_histogram(values, bin_width=4)
+        out = hist.render(max_rows=10)
+        assert out.count("\n") <= 11  # rows + summary line
+
+    def test_from_stats(self):
+        net = make_network(Design.BACKPRESSURED)
+        offer_random_burst(net, 60)
+        net.drain()
+        hist = latency_histogram(net.stats)
+        assert hist.total == net.stats.packets_completed
+        assert hist.mean == pytest.approx(net.stats.avg_packet_latency)
+
+
+class TestTimeSeriesProbe:
+    def test_samples_at_interval(self):
+        net = make_network(Design.BACKPRESSURED)
+        probe = TimeSeriesProbe(net, every=50)
+        probe.add("cycle", lambda n: float(n.cycle))
+        probe.run(200)
+        assert len(probe) >= 4
+        assert probe.series["cycle"] == [float(c) for c in probe.cycles]
+
+    def test_interval_validation(self):
+        net = make_network(Design.BACKPRESSURED)
+        with pytest.raises(ValueError):
+            TimeSeriesProbe(net, every=0)
+
+    def test_duplicate_metric_rejected(self):
+        net = make_network(Design.BACKPRESSURED)
+        probe = TimeSeriesProbe(net)
+        probe.add("x", lambda n: 0.0)
+        with pytest.raises(ValueError):
+            probe.add("x", lambda n: 1.0)
+
+    def test_afc_metrics_track_mode_change(self):
+        net = make_network(Design.AFC)
+        probe = TimeSeriesProbe(net, every=100)
+        probe.add_builtin_afc_metrics()
+        traffic = uniform_random_traffic(
+            net, 0.7, seed=3, source_queue_limit=300
+        )
+        probe.run(1_500, tick=traffic.tick)
+        series = probe.series["backpressured_fraction"]
+        assert series[0] == 0.0  # starts backpressureless
+        assert max(series) > 0.5  # the load drives a switch
+        assert max(probe.series["mean_ewma"]) > 0.5
+
+    def test_afc_metrics_zero_on_non_afc(self):
+        net = make_network(Design.BACKPRESSURED)
+        probe = TimeSeriesProbe(net, every=50)
+        probe.add_builtin_afc_metrics()
+        probe.run(100)
+        assert set(probe.series["backpressured_fraction"]) == {0.0}
+
+
+class TestChannelUtilization:
+    def test_balanced_uniform_traffic(self):
+        net = make_network(Design.BACKPRESSURED)
+        src = uniform_random_traffic(net, 0.3, seed=3)
+        src.run(2_000)
+        util = channel_utilization(net)
+        assert util.total_traversals > 0
+        assert util.min_per_channel > 0
+        assert util.imbalance < 1.0
+
+    def test_idle_network(self):
+        net = make_network(Design.BACKPRESSURED)
+        util = channel_utilization(net)
+        assert util.total_traversals == 0
+        assert util.imbalance == 0.0
+
+    def test_per_channel_keys(self):
+        net = make_network(Design.BACKPRESSURED)
+        util = channel_utilization(net)
+        assert "0->1" in util.per_channel
+        assert len(util.per_channel) == len(net.channels)
+
+
+class TestSimulationReport:
+    def test_report_covers_all_sections(self):
+        net = make_network(Design.AFC)
+        src = uniform_random_traffic(net, 0.4, seed=3)
+        src.run(500)
+        net.begin_measurement()
+        src.run(1_500)
+        report = simulation_report(net)
+        for fragment in (
+            "design: afc",
+            "traffic:",
+            "packet latency",
+            "AFC modes:",
+            "energy",
+            "links:",
+        ):
+            assert fragment in report
+
+    def test_report_without_afc_omits_modes(self):
+        net = make_network(Design.BACKPRESSURED)
+        offer_random_burst(net, 40)
+        net.drain()
+        report = simulation_report(net)
+        assert "AFC modes:" not in report

@@ -1,0 +1,109 @@
+"""Cross-validation of the simulator against closed-form models."""
+
+import pytest
+
+from repro import Design, Mesh, Network, NetworkConfig, Packet, VirtualNetwork
+from repro.analysis.analytic import (
+    estimated_latency,
+    mean_uniform_hops,
+    per_hop_latency,
+    uniform_saturation_bound,
+    xy_channel_loads,
+    zero_load_flit_latency,
+    zero_load_packet_latency,
+)
+from repro.traffic.synthetic import uniform_random_traffic
+
+from conftest import DATAPATH_DESIGNS, make_network
+
+
+class TestClosedForms:
+    def test_per_hop_latency(self):
+        assert per_hop_latency(NetworkConfig()) == 3
+        slow_links = NetworkConfig(link_latency=4, gossip_threshold=8)
+        assert per_hop_latency(slow_links) == 5
+
+    def test_zero_load_flit_latency(self):
+        cfg = NetworkConfig()
+        assert zero_load_flit_latency(cfg, 0) == 0
+        assert zero_load_flit_latency(cfg, 4) == 12
+
+    def test_zero_load_packet_latency(self):
+        cfg = NetworkConfig()
+        assert zero_load_packet_latency(cfg, hops=2, num_flits=1) == 6
+        assert zero_load_packet_latency(cfg, hops=1, num_flits=4) == 6
+
+    def test_mean_uniform_hops_3x3(self):
+        # exact enumeration: mean Manhattan distance on 3x3 = 2.0
+        assert mean_uniform_hops(Mesh(3, 3)) == pytest.approx(2.0)
+
+    def test_channel_loads_sum_to_mean_hops(self):
+        mesh = Mesh(3, 3)
+        loads = xy_channel_loads(mesh)
+        # each (src,dst) pair contributes hop_distance traversals
+        assert sum(loads.values()) == pytest.approx(mean_uniform_hops(mesh))
+
+    def test_saturation_bound_3x3(self):
+        bound = uniform_saturation_bound(Mesh(3, 3))
+        # XY on 3x3 bottlenecks at the center row's horizontal links
+        assert 0.5 < bound.max_injection_rate < 1.5
+        assert bound.bottleneck_load > 0
+
+    def test_estimated_latency_monotone_in_load(self):
+        cfg = NetworkConfig()
+        lats = [
+            estimated_latency(cfg, hops=2.0, utilization=u)
+            for u in (0.0, 0.3, 0.6, 0.9)
+        ]
+        assert lats == sorted(lats)
+        assert lats[0] == pytest.approx(6.0)
+
+    def test_estimated_latency_bounds(self):
+        with pytest.raises(ValueError):
+            estimated_latency(NetworkConfig(), 2.0, 1.0)
+
+
+class TestSimulatorMatchesClosedForms:
+    @pytest.mark.parametrize("design", DATAPATH_DESIGNS)
+    @pytest.mark.parametrize(
+        "src,dst,num_flits", [(0, 8, 1), (0, 2, 1), (3, 5, 4), (0, 8, 18)]
+    )
+    def test_zero_load_exact(self, design, src, dst, num_flits):
+        cfg = NetworkConfig()
+        net = make_network(design, config=cfg)
+        net.interface(src).offer(
+            Packet(
+                src=src,
+                dst=dst,
+                vnet=VirtualNetwork.DATA,
+                num_flits=num_flits,
+                created_at=0,
+            )
+        )
+        net.drain()
+        hops = cfg.mesh.hop_distance(src, dst)
+        expected = zero_load_packet_latency(cfg, hops, num_flits)
+        assert net.stats.avg_packet_latency == expected
+
+    def test_measured_hops_match_mean_at_low_load(self):
+        net = make_network(Design.BACKPRESSURED)
+        src = uniform_random_traffic(net, 0.1, seed=3)
+        src.run(3_000)
+        net.drain()
+        assert net.stats.avg_hops == pytest.approx(
+            mean_uniform_hops(net.mesh), rel=0.06
+        )
+
+    def test_saturation_below_bound(self):
+        bound = uniform_saturation_bound(Mesh(3, 3))
+        net = make_network(Design.BACKPRESSURED)
+        src = uniform_random_traffic(
+            net, 0.95, seed=3, source_queue_limit=400
+        )
+        src.run(1_500)
+        net.begin_measurement()
+        src.run(3_000)
+        measured = net.stats.throughput
+        assert measured <= bound.max_injection_rate * 1.02
+        # an efficient VC router should get reasonably close to it
+        assert measured >= 0.6 * bound.max_injection_rate

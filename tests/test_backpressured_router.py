@@ -1,0 +1,181 @@
+"""Tests for the baseline credit-based VC router."""
+
+import pytest
+
+from repro import Design, Direction, Packet, VirtualNetwork
+from repro.routers.backpressured import vc_ranges
+
+from conftest import make_network, offer_random_burst, single_packet_network
+
+
+class TestVcRanges:
+    def test_baseline_layout(self):
+        ranges = vc_ranges((2, 2, 4))
+        assert list(ranges[VirtualNetwork.CONTROL_REQ]) == [0, 1]
+        assert list(ranges[VirtualNetwork.CONTROL_RESP]) == [2, 3]
+        assert list(ranges[VirtualNetwork.DATA]) == [4, 5, 6, 7]
+
+    def test_ranges_are_disjoint_and_cover(self):
+        ranges = vc_ranges((8, 8, 16))
+        seen = [i for r in ranges.values() for i in r]
+        assert sorted(seen) == list(range(32))
+
+
+class TestZeroLoadLatency:
+    def test_single_hop_packet(self):
+        # 0 -> 1 is one hop: inject+SA at 0, arrive at 3, eject at 3.
+        net, packet = single_packet_network(
+            Design.BACKPRESSURED, src=0, dst=1, num_flits=1
+        )
+        net.drain()
+        assert net.stats.avg_network_latency == 3
+
+    def test_two_hop_packet(self):
+        net, _ = single_packet_network(
+            Design.BACKPRESSURED, src=0, dst=2, num_flits=1
+        )
+        net.drain()
+        assert net.stats.avg_network_latency == 6
+
+    def test_multi_flit_serialization(self):
+        # 4 flits over one hop: 1 flit/cycle injection, last flit
+        # injected at cycle 3, arrives at 6.
+        net, _ = single_packet_network(
+            Design.BACKPRESSURED, src=0, dst=1, num_flits=4
+        )
+        net.drain()
+        assert net.stats.avg_network_latency == 6
+
+    def test_follows_xy_hop_count(self):
+        net, _ = single_packet_network(
+            Design.BACKPRESSURED, src=0, dst=8, num_flits=1
+        )
+        net.drain()
+        assert net.stats.avg_hops == 4  # |dx| + |dy| = 4, no misroutes
+        assert net.stats.deflections == 0
+
+
+class TestCredits:
+    def test_dispatch_consumes_credit(self):
+        net, _ = single_packet_network(
+            Design.BACKPRESSURED, src=0, dst=2, num_flits=1
+        )
+        router = net.router(0)
+        net.step()  # inject + SA + dispatch happen in cycle 0
+        state = router._out_state[Direction.EAST]
+        spent = [vc for vc in state.vc_states if vc.credits < 8]
+        assert len(spent) == 1
+        assert spent[0].credits == 7
+        assert spent[0].busy  # head allocated, tail not yet through
+
+    def test_credit_returns_after_downstream_dequeue(self):
+        net, _ = single_packet_network(
+            Design.BACKPRESSURED, src=0, dst=2, num_flits=1
+        )
+        router = net.router(0)
+        net.drain()
+        state = router._out_state[Direction.EAST]
+        assert all(vc.credits == 8 for vc in state.vc_states)
+        assert all(not vc.busy for vc in state.vc_states)
+
+    def test_credit_overflow_detected(self):
+        from repro.network.link import CreditMessage
+
+        net = make_network(Design.BACKPRESSURED)
+        router = net.router(0)
+        router.finalize()
+        with pytest.raises(RuntimeError, match="credit overflow"):
+            router._accept_credit(
+                Direction.EAST,
+                CreditMessage(vnet=VirtualNetwork.CONTROL_REQ, vc=0),
+                cycle=0,
+            )
+
+
+class TestBufferDiscipline:
+    def _flit(self, num_flits=1, seq=0, dst=0):
+        packet = Packet(
+            src=1,
+            dst=dst,
+            vnet=VirtualNetwork.CONTROL_REQ,
+            num_flits=num_flits,
+            created_at=0,
+        )
+        flits = list(packet.flits())
+        return flits[seq]
+
+    def test_vc_overflow_raises(self):
+        net = make_network(Design.BACKPRESSURED)
+        router = net.router(0)
+        router.finalize()
+        packet = Packet(
+            src=1, dst=0, vnet=VirtualNetwork.CONTROL_REQ, num_flits=9,
+            created_at=0,
+        )
+        flits = list(packet.flits())
+        for flit in flits[:8]:
+            flit.vc = 0
+            router._accept_flit(flit, Direction.EAST, cycle=0)
+        flits[8].vc = 0
+        with pytest.raises(RuntimeError, match="overflow"):
+            router._accept_flit(flits[8], Direction.EAST, cycle=0)
+
+    def test_double_allocation_raises(self):
+        net = make_network(Design.BACKPRESSURED)
+        router = net.router(0)
+        router.finalize()
+        a = self._flit()
+        b = self._flit()
+        a.vc = b.vc = 0
+        router._accept_flit(a, Direction.EAST, cycle=0)
+        with pytest.raises(RuntimeError, match="double-allocated"):
+            router._accept_flit(b, Direction.EAST, cycle=0)
+
+    def test_foreign_body_flit_raises(self):
+        net = make_network(Design.BACKPRESSURED)
+        router = net.router(0)
+        router.finalize()
+        head = self._flit(num_flits=2, seq=0)
+        foreign_body = self._flit(num_flits=2, seq=1)  # different packet
+        head.vc = foreign_body.vc = 0
+        router._accept_flit(head, Direction.EAST, cycle=0)
+        with pytest.raises(RuntimeError, match="owned by"):
+            router._accept_flit(foreign_body, Direction.EAST, cycle=0)
+
+    def test_missing_vc_assignment_raises(self):
+        net = make_network(Design.BACKPRESSURED)
+        router = net.router(0)
+        router.finalize()
+        flit = self._flit()  # vc stays -1
+        with pytest.raises(RuntimeError, match="without a VC"):
+            router._accept_flit(flit, Direction.EAST, cycle=0)
+
+
+class TestEndToEnd:
+    def test_burst_drains_with_conservation(self):
+        net = make_network(Design.BACKPRESSURED)
+        offer_random_burst(net, 150)
+        net.drain(max_cycles=20_000)
+        net.check_flit_conservation()
+        assert net.stats.packets_completed == 150
+        assert net.stats.deflections == 0  # never misroutes
+
+    def test_buffers_empty_after_drain(self):
+        net = make_network(Design.BACKPRESSURED)
+        offer_random_burst(net, 60)
+        net.drain()
+        assert all(r.buffered_flits() == 0 for r in net.routers)
+
+    def test_ideal_bypass_is_timing_identical(self):
+        results = []
+        for design in (
+            Design.BACKPRESSURED,
+            Design.BACKPRESSURED_IDEAL_BYPASS,
+        ):
+            net = make_network(design)
+            offer_random_burst(net, 100)
+            net.drain()
+            results.append(
+                (net.stats.avg_packet_latency, net.cycle)
+            )
+        assert results[0] == results[1]

@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--design", "nonsense"])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--workload", "nonsense"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.design.value == "afc"
+        assert args.workload.name == "apache"
+        assert args.seeds == 1
+
+
+class TestCommands:
+    """Tiny cycle counts: these verify wiring, not physics."""
+
+    FAST = ["--warmup", "300", "--measure", "800", "--seeds", "1"]
+
+    def test_run(self, capsys):
+        code = main(
+            ["run", "--design", "afc", "--workload", "water"] + self.FAST
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "performance" in out
+        assert "backpressured fraction" in out
+
+    def test_compare(self, capsys):
+        code = main(["compare", "--workload", "water"] + self.FAST)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "geomean" in out
+        assert "afc" in out
+
+    def test_sweep(self, capsys):
+        code = main(["sweep", "--rates", "0.2"] + self.FAST)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0.20" in out
+        assert "backpressureless" in out
+
+    def test_sweep_custom_designs(self, capsys):
+        code = main(
+            ["sweep", "--rates", "0.2", "--designs", "backpressured"]
+            + self.FAST
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "backpressureless" not in out
+
+    def test_derive_thresholds(self, capsys):
+        code = main(
+            ["derive-thresholds", "--rate", "0.5"] + self.FAST
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "corner" in out
+        assert "center" in out

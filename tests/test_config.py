@@ -1,0 +1,142 @@
+"""Unit tests for the system configuration (Table II)."""
+
+import pytest
+
+from repro import Design, NetworkConfig, ContentionThresholds, RouterClass
+from repro.network.config import CONTROL_BITS, DEFAULT_THRESHOLDS, MachineConfig
+
+
+class TestDesign:
+    def test_baseline_classification(self):
+        assert Design.BACKPRESSURED.is_backpressured_baseline
+        assert Design.BACKPRESSURED_IDEAL_BYPASS.is_backpressured_baseline
+        assert not Design.AFC.is_backpressured_baseline
+        assert not Design.BACKPRESSURELESS.is_backpressured_baseline
+
+    def test_afc_family(self):
+        assert Design.AFC.is_afc_family
+        assert Design.AFC_ALWAYS_BACKPRESSURED.is_afc_family
+        assert not Design.BACKPRESSURED.is_afc_family
+
+
+class TestFlitWidths:
+    """Section IV: 41 / 45 / 49-bit flits."""
+
+    def test_control_bits(self):
+        assert CONTROL_BITS[Design.BACKPRESSURED] == 9
+        assert CONTROL_BITS[Design.BACKPRESSURELESS] == 13
+        assert CONTROL_BITS[Design.AFC] == 17
+
+    def test_total_widths(self):
+        cfg = NetworkConfig()
+        assert cfg.flit_bits(Design.BACKPRESSURED) == 41
+        assert cfg.flit_bits(Design.BACKPRESSURELESS) == 45
+        assert cfg.flit_bits(Design.AFC) == 49
+        assert cfg.flit_bits(Design.AFC_ALWAYS_BACKPRESSURED) == 49
+        assert cfg.flit_bits(Design.BACKPRESSURED_IDEAL_BYPASS) == 41
+
+
+class TestBufferLayouts:
+    """Section IV: baseline 64 flits/port, AFC 32 (halved by lazy VCA)."""
+
+    def test_baseline_64_flits(self):
+        cfg = NetworkConfig()
+        assert cfg.buffer_flits_per_port(Design.BACKPRESSURED) == 64
+
+    def test_afc_32_flits(self):
+        cfg = NetworkConfig()
+        assert cfg.buffer_flits_per_port(Design.AFC) == 32
+
+    def test_halving_factor(self):
+        cfg = NetworkConfig()
+        assert (
+            cfg.buffer_flits_per_port(Design.BACKPRESSURED)
+            == 2 * cfg.buffer_flits_per_port(Design.AFC)
+        )
+
+    def test_backpressureless_has_no_buffers(self):
+        assert NetworkConfig().buffer_flits_per_port(
+            Design.BACKPRESSURELESS
+        ) == 0
+
+    def test_vc_layouts(self):
+        cfg = NetworkConfig()
+        assert cfg.vcs_for(Design.BACKPRESSURED) == (2, 2, 4)
+        assert cfg.vcs_for(Design.AFC) == (8, 8, 16)
+        assert cfg.vc_depth_for(Design.BACKPRESSURED) == 8
+        assert cfg.vc_depth_for(Design.AFC) == 1
+
+    def test_backpressureless_has_no_vc_layout(self):
+        with pytest.raises(ValueError):
+            NetworkConfig().vcs_for(Design.BACKPRESSURELESS)
+
+
+class TestValidation:
+    def test_gossip_threshold_must_cover_2l(self):
+        with pytest.raises(ValueError, match="2L"):
+            NetworkConfig(link_latency=3, gossip_threshold=5)
+
+    def test_gossip_threshold_exactly_2l_ok(self):
+        cfg = NetworkConfig(link_latency=3, gossip_threshold=6)
+        assert cfg.gossip_threshold == 6
+
+    def test_ewma_alpha_range(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(ewma_alpha=1.0)
+        with pytest.raises(ValueError):
+            NetworkConfig(ewma_alpha=0.0)
+
+    def test_link_latency_positive(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(link_latency=0)
+
+    def test_every_vnet_needs_a_vc(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(baseline_vcs=(0, 2, 4))
+
+    def test_threshold_ordering(self):
+        with pytest.raises(ValueError):
+            ContentionThresholds(high=1.0, low=1.5)
+        with pytest.raises(ValueError):
+            ContentionThresholds(high=1.0, low=0.0)
+
+
+class TestDefaults:
+    def test_paper_thresholds(self):
+        """Section IV's experimentally determined values."""
+        assert DEFAULT_THRESHOLDS[RouterClass.CORNER] == ContentionThresholds(
+            1.8, 1.2
+        )
+        assert DEFAULT_THRESHOLDS[RouterClass.EDGE] == ContentionThresholds(
+            2.1, 1.3
+        )
+        assert DEFAULT_THRESHOLDS[RouterClass.CENTER] == ContentionThresholds(
+            2.2, 1.7
+        )
+
+    def test_table_ii_network(self):
+        cfg = NetworkConfig()
+        assert (cfg.width, cfg.height) == (3, 3)
+        assert cfg.link_latency == 2
+        assert cfg.data_bits == 32
+        assert cfg.router_stages == 2
+        assert cfg.ewma_alpha == 0.99
+        assert cfg.load_window == 4
+        assert cfg.gossip_threshold == 2 * cfg.link_latency
+
+    def test_table_ii_machine(self):
+        machine = MachineConfig()
+        assert machine.l1_mshrs == 16
+        assert machine.l2_mshrs == 16
+        assert machine.l2_latency == 12
+        assert machine.memory_latency == 250
+
+    def test_packet_sizes(self):
+        cfg = NetworkConfig()
+        assert cfg.packet_flits(is_data=True) == 18
+        assert cfg.packet_flits(is_data=False) == 2
+
+    def test_scaled_mesh(self):
+        cfg = NetworkConfig().scaled(8, 8)
+        assert cfg.mesh.num_nodes == 64
+        assert cfg.link_latency == NetworkConfig().link_latency

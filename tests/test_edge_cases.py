@@ -1,0 +1,155 @@
+"""Edge-case coverage across modules: wiring errors, tiny meshes,
+degenerate traffic, and less-travelled protocol paths."""
+
+import pytest
+
+from repro import (
+    Design,
+    Direction,
+    Mesh,
+    Network,
+    NetworkConfig,
+    Packet,
+    VirtualNetwork,
+)
+from repro.memsys import MemorySystem
+from repro.network.link import Channel
+from repro.traffic.synthetic import OpenLoopSource
+from repro.traffic.workloads import WorkloadProfile
+
+from conftest import make_network
+
+
+class TestWiring:
+    def test_double_input_attach_rejected(self):
+        net = make_network(Design.BACKPRESSURED)
+        channel = Channel(0, Direction.EAST, 1, link_latency=2)
+        with pytest.raises(ValueError, match="already wired"):
+            net.router(1).attach_input(Direction.WEST, channel)
+
+    def test_double_output_attach_rejected(self):
+        net = make_network(Design.BACKPRESSURED)
+        channel = Channel(0, Direction.EAST, 1, link_latency=2)
+        with pytest.raises(ValueError, match="already wired"):
+            net.router(0).attach_output(Direction.EAST, channel)
+
+
+class TestTinyMesh:
+    @pytest.mark.parametrize(
+        "design",
+        [Design.BACKPRESSURED, Design.BACKPRESSURELESS, Design.AFC,
+         Design.BACKPRESSURELESS_DROPPING],
+    )
+    def test_2x2_runs_clean(self, design):
+        config = NetworkConfig(width=2, height=2)
+        net = Network(config, design, seed=0)
+        for src in range(4):
+            net.interface(src).offer(
+                Packet(
+                    src=src,
+                    dst=(src + 1) % 4,
+                    vnet=VirtualNetwork.CONTROL_REQ,
+                    num_flits=2,
+                    created_at=0,
+                )
+            )
+        net.drain(max_cycles=10_000)
+        net.check_flit_conservation()
+        assert net.stats.packets_completed == 4
+
+    def test_2x2_all_corner_thresholds(self):
+        config = NetworkConfig(width=2, height=2)
+        net = Network(config, Design.AFC, seed=0)
+        from repro import RouterClass
+
+        for router in net.routers:
+            assert router.router_class is RouterClass.CORNER
+
+
+class TestRectangularMesh:
+    def test_2x4_mesh_traffic(self):
+        config = NetworkConfig(width=2, height=4)
+        net = Network(config, Design.AFC, seed=0)
+        source = OpenLoopSource(net, 0.2, seed=5)
+        source.run(800)
+        net.drain(max_cycles=30_000)
+        net.check_flit_conservation()
+
+
+class TestMemsysCornerPaths:
+    def _profile(self, **overrides):
+        base = dict(
+            name="corner",
+            description="corner-path profile",
+            demand_rate=0.03,
+            write_fraction=0.5,
+            sharing_fraction=1.0,  # every miss is a 3-hop forward
+            dirty_writeback_fraction=0.5,
+            paper_injection_rate=0.5,
+            high_load=True,
+        )
+        base.update(overrides)
+        return WorkloadProfile(**base)
+
+    def test_all_forwarded_transactions_complete(self):
+        """sharing_fraction = 1.0 exercises owner==home and FWD paths
+        on every transaction."""
+        net = make_network(Design.BACKPRESSURED)
+        system = MemorySystem(net, self._profile(), seed=3)
+        system.run(4_000)
+        assert system.transactions_completed > 0
+        net.check_flit_conservation()
+
+    def test_owner_never_equals_requestor(self):
+        net = make_network(Design.BACKPRESSURED)
+        system = MemorySystem(net, self._profile(), seed=3)
+        for _ in range(500):
+            owner = system._pick_owner(exclude=4)
+            assert owner != 4
+            assert 0 <= owner < 9
+
+    def test_memory_misses_add_latency(self):
+        from repro import MachineConfig
+
+        fast = MachineConfig(l2_miss_rate=0.0)
+        slow = MachineConfig(l2_miss_rate=1.0)
+        lat = {}
+        for name, machine in (("fast", fast), ("slow", slow)):
+            net = make_network(Design.BACKPRESSURED)
+            system = MemorySystem(
+                net, self._profile(sharing_fraction=0.0), machine=machine,
+                seed=3,
+            )
+            system.run(4_000)
+            lat[name] = system.avg_miss_latency
+        assert lat["slow"] > lat["fast"] + 100  # ~250-cycle DRAM visits
+
+
+class TestDegenerateTraffic:
+    def test_single_node_source_whole_mesh_sink(self):
+        net = make_network(Design.AFC)
+        rates = [0.0] * 9
+        rates[4] = 0.5
+        source = OpenLoopSource(net, rates, seed=5)
+        source.run(1_500)
+        net.drain(max_cycles=30_000)
+        net.check_flit_conservation()
+        assert net.stats.packets_completed > 0
+
+    def test_idle_network_consumes_only_static_energy(self):
+        net = make_network(Design.BACKPRESSURED)
+        net.begin_measurement()
+        net.run(100)
+        energy = net.measured_energy()
+        assert energy.total > 0
+        assert energy.total == pytest.approx(
+            energy.buffer_static + energy.logic_static
+        )
+
+    def test_idle_backpressureless_has_no_buffer_leakage(self):
+        net = make_network(Design.BACKPRESSURELESS)
+        net.begin_measurement()
+        net.run(100)
+        energy = net.measured_energy()
+        assert energy.buffer_static == 0.0
+        assert energy.logic_static > 0

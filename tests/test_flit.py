@@ -1,0 +1,104 @@
+"""Unit tests for flits, packets and virtual networks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import Packet, VirtualNetwork, make_packet
+from repro.network.flit import NUM_VNETS, reset_packet_ids
+
+
+class TestVirtualNetwork:
+    def test_three_vnets(self):
+        assert NUM_VNETS == 3
+
+    def test_control_classification(self):
+        assert VirtualNetwork.CONTROL_REQ.is_control
+        assert VirtualNetwork.CONTROL_RESP.is_control
+        assert not VirtualNetwork.DATA.is_control
+
+    def test_values_are_stable(self):
+        # buffer layouts index by these values; they must not change
+        assert VirtualNetwork.CONTROL_REQ == 0
+        assert VirtualNetwork.CONTROL_RESP == 1
+        assert VirtualNetwork.DATA == 2
+
+
+class TestPacket:
+    def test_basic_construction(self):
+        p = make_packet(0, 5, VirtualNetwork.DATA, 18, created_at=100)
+        assert p.src == 0
+        assert p.dst == 5
+        assert p.num_flits == 18
+        assert p.created_at == 100
+
+    def test_rejects_zero_flits(self):
+        with pytest.raises(ValueError, match="1 flit"):
+            make_packet(0, 1, VirtualNetwork.DATA, 0, created_at=0)
+
+    def test_rejects_self_destination(self):
+        with pytest.raises(ValueError, match="must differ"):
+            make_packet(3, 3, VirtualNetwork.DATA, 2, created_at=0)
+
+    def test_unique_increasing_ids(self):
+        a = make_packet(0, 1, VirtualNetwork.DATA, 1, created_at=0)
+        b = make_packet(0, 1, VirtualNetwork.DATA, 1, created_at=0)
+        assert b.pid == a.pid + 1
+
+    def test_reset_packet_ids(self):
+        make_packet(0, 1, VirtualNetwork.DATA, 1, created_at=0)
+        reset_packet_ids()
+        p = make_packet(0, 1, VirtualNetwork.DATA, 1, created_at=0)
+        assert p.pid == 0
+
+    def test_meta_defaults_to_none(self):
+        p = make_packet(0, 1, VirtualNetwork.DATA, 1, created_at=0)
+        assert p.meta is None
+
+
+class TestFlitExpansion:
+    def test_flit_count(self):
+        p = make_packet(0, 1, VirtualNetwork.DATA, 18, created_at=0)
+        assert len(list(p.flits())) == 18
+
+    def test_sequence_numbers(self):
+        p = make_packet(0, 1, VirtualNetwork.DATA, 5, created_at=0)
+        seqs = [f.seq for f in p.flits()]
+        assert seqs == [0, 1, 2, 3, 4]
+
+    def test_head_and_tail_flags(self):
+        p = make_packet(0, 1, VirtualNetwork.DATA, 3, created_at=0)
+        flits = list(p.flits())
+        assert flits[0].is_head and not flits[0].is_tail
+        assert not flits[1].is_head and not flits[1].is_tail
+        assert flits[2].is_tail and not flits[2].is_head
+
+    def test_single_flit_packet_is_head_and_tail(self):
+        p = make_packet(0, 1, VirtualNetwork.CONTROL_REQ, 1, created_at=0)
+        (flit,) = p.flits()
+        assert flit.is_head and flit.is_tail
+
+    def test_flits_inherit_identity(self):
+        p = make_packet(2, 7, VirtualNetwork.CONTROL_RESP, 2, created_at=9)
+        for flit in p.flits():
+            assert flit.src == 2
+            assert flit.dst == 7
+            assert flit.vnet is VirtualNetwork.CONTROL_RESP
+            assert flit.pid == p.pid
+
+    def test_fresh_flit_routing_state(self):
+        p = make_packet(0, 1, VirtualNetwork.DATA, 1, created_at=0)
+        (flit,) = p.flits()
+        assert flit.hops == 0
+        assert flit.deflections == 0
+        assert flit.injected_at is None
+        assert flit.vc == -1
+
+    @given(n=st.integers(min_value=1, max_value=64))
+    def test_exactly_one_head_and_tail(self, n):
+        p = Packet(
+            src=0, dst=1, vnet=VirtualNetwork.DATA, num_flits=n, created_at=0
+        )
+        flits = list(p.flits())
+        assert sum(f.is_head for f in flits) == 1
+        assert sum(f.is_tail for f in flits) == 1
+        assert [f.seq for f in flits] == list(range(n))

@@ -1,0 +1,107 @@
+"""Unit tests for the per-node network interface."""
+
+import pytest
+
+from repro import Packet, StatsCollector, VirtualNetwork
+from repro.network.interface import NetworkInterface
+
+
+def packet(src=0, dst=1, vnet=VirtualNetwork.CONTROL_REQ, num_flits=2):
+    return Packet(
+        src=src, dst=dst, vnet=vnet, num_flits=num_flits, created_at=0
+    )
+
+
+@pytest.fixture
+def ni():
+    return NetworkInterface(node=0, stats=StatsCollector(9))
+
+
+class TestSendSide:
+    def test_offer_expands_to_flits(self, ni):
+        ni.offer(packet(num_flits=3))
+        assert ni.source_queue_flits == 3
+        assert ni.has_pending
+
+    def test_offer_rejects_wrong_source(self, ni):
+        with pytest.raises(ValueError, match="offered at node"):
+            ni.offer(packet(src=4, dst=5))
+
+    def test_offer_records_injection(self, ni):
+        ni.offer(packet(num_flits=5))
+        assert ni.stats.flits_injected == 5
+
+    def test_peek_does_not_remove(self, ni):
+        ni.offer(packet())
+        assert ni.peek(VirtualNetwork.CONTROL_REQ) is not None
+        assert ni.source_queue_flits == 2
+
+    def test_peek_empty_vnet(self, ni):
+        ni.offer(packet(vnet=VirtualNetwork.DATA, num_flits=18))
+        assert ni.peek(VirtualNetwork.CONTROL_REQ) is None
+
+    def test_pop_stamps_injection_cycle(self, ni):
+        ni.offer(packet())
+        flit = ni.pop(VirtualNetwork.CONTROL_REQ, cycle=42)
+        assert flit.injected_at == 42
+
+    def test_pop_preserves_order(self, ni):
+        ni.offer(packet(num_flits=3))
+        seqs = [
+            ni.pop(VirtualNetwork.CONTROL_REQ, cycle=i).seq for i in range(3)
+        ]
+        assert seqs == [0, 1, 2]
+
+    def test_pending_vnets(self, ni):
+        ni.offer(packet(vnet=VirtualNetwork.CONTROL_RESP))
+        ni.offer(packet(vnet=VirtualNetwork.DATA, num_flits=18))
+        assert set(ni.pending_vnets()) == {
+            VirtualNetwork.CONTROL_RESP,
+            VirtualNetwork.DATA,
+        }
+
+
+class TestReceiveSide:
+    def test_eject_counts_flits(self, ni):
+        p = Packet(
+            src=3, dst=0, vnet=VirtualNetwork.CONTROL_REQ, num_flits=2,
+            created_at=0,
+        )
+        flits = list(p.flits())
+        ni.eject(flits[0], cycle=5)
+        assert ni.flits_ejected_total == 1
+        assert ni.stats.flits_ejected == 1
+
+    def test_completion_via_polling(self, ni):
+        p = Packet(
+            src=3, dst=0, vnet=VirtualNetwork.CONTROL_REQ, num_flits=1,
+            created_at=0,
+        )
+        ni.eject(next(p.flits()), cycle=5)
+        done = ni.drain_completed()
+        assert len(done) == 1
+        assert done[0].packet is p
+        assert ni.drain_completed() == []
+
+    def test_completion_via_callback(self):
+        received = []
+        ni = NetworkInterface(
+            node=0, stats=StatsCollector(9), on_packet=received.append
+        )
+        p = Packet(
+            src=3, dst=0, vnet=VirtualNetwork.CONTROL_REQ, num_flits=1,
+            created_at=0,
+        )
+        ni.eject(next(p.flits()), cycle=5)
+        assert len(received) == 1
+        assert not ni.completed  # callback mode bypasses the poll queue
+
+    def test_completion_updates_stats(self, ni):
+        p = Packet(
+            src=3, dst=0, vnet=VirtualNetwork.DATA, num_flits=1, created_at=2
+        )
+        flit = next(p.flits())
+        flit.injected_at = 4
+        ni.eject(flit, cycle=10)
+        assert ni.stats.packets_completed == 1
+        assert ni.stats.avg_packet_latency == 8

@@ -1,0 +1,160 @@
+"""Tests for the invalidation-protocol extension (write misses collect
+sharer acks before completing)."""
+
+import random
+
+import pytest
+
+from repro import Design, MachineConfig
+from repro.memsys import Core, MemorySystem
+from repro.memsys.core_model import Transaction
+from repro.traffic.workloads import WorkloadProfile
+
+from conftest import make_network
+
+
+def profile(**overrides) -> WorkloadProfile:
+    base = dict(
+        name="inv-test",
+        description="invalidation test profile",
+        demand_rate=0.02,
+        write_fraction=1.0,
+        sharing_fraction=0.0,
+        dirty_writeback_fraction=0.0,
+        paper_injection_rate=0.5,
+        high_load=True,
+        invalidation_fanout=2.0,
+    )
+    base.update(overrides)
+    return WorkloadProfile(**base)
+
+
+class TestTransactionCompletion:
+    def test_complete_needs_data(self):
+        txn = Transaction(tid=0, issued_at=0, is_write=True)
+        assert not txn.complete
+        txn.data_received = True
+        txn.acks_expected = 0
+        assert txn.complete
+
+    def test_complete_waits_for_acks(self):
+        txn = Transaction(tid=0, issued_at=0, is_write=True)
+        txn.data_received = True
+        txn.acks_expected = 2
+        assert not txn.complete
+        txn.acks_received = 2
+        assert txn.complete
+
+    def test_acks_may_race_ahead_of_data(self):
+        txn = Transaction(tid=0, issued_at=0, is_write=True)
+        txn.acks_received = 3  # acks arrived first
+        assert not txn.complete
+        txn.data_received = True
+        txn.acks_expected = 3
+        assert txn.complete
+
+
+class TestCoreAckHandling:
+    def _core(self):
+        return Core(
+            node=0,
+            profile=profile(demand_rate=1.0),
+            machine=MachineConfig(l1_mshrs=4),
+            rng=random.Random(0),
+        )
+
+    def _issue(self, core):
+        txn = None
+        cycle = 0
+        while txn is None:
+            txn = core.tick(cycle)
+            cycle += 1
+        return txn, cycle
+
+    def test_fill_with_pending_acks_defers_completion(self):
+        core = self._core()
+        txn, cycle = self._issue(core)
+        assert core.on_fill(txn.tid, cycle + 10, acks_expected=2) is None
+        assert core.completed == 0
+        assert core.on_inv_ack(txn.tid, cycle + 11) is None
+        result = core.on_inv_ack(txn.tid, cycle + 12)
+        assert result is not None  # dirty-or-not decided now
+        assert core.completed == 1
+        assert not core.outstanding
+
+    def test_acks_first_then_fill(self):
+        core = self._core()
+        txn, cycle = self._issue(core)
+        assert core.on_inv_ack(txn.tid, cycle + 5) is None
+        assert core.on_fill(txn.tid, cycle + 20, acks_expected=1) is not None
+        assert core.completed == 1
+
+    def test_latency_measured_to_last_ack(self):
+        core = self._core()
+        txn, cycle = self._issue(core)
+        core.on_fill(txn.tid, cycle + 10, acks_expected=1)
+        core.on_inv_ack(txn.tid, cycle + 50)
+        assert core.avg_miss_latency == 50 + cycle - txn.issued_at
+
+    def test_unknown_ack_raises(self):
+        core = self._core()
+        with pytest.raises(KeyError):
+            core.on_inv_ack(99, cycle=0)
+
+
+class TestEndToEndInvalidations:
+    def test_writes_complete_with_fanout(self):
+        net = make_network(Design.BACKPRESSURED)
+        system = MemorySystem(net, profile(), seed=3)
+        system.run(4000)
+        assert system.transactions_completed > 0
+        net.check_flit_conservation()
+
+    def test_invalidation_traffic_appears(self):
+        from repro.traffic.trace import TraceRecorder
+
+        net = make_network(Design.BACKPRESSURED)
+        recorder = TraceRecorder(net)
+        system = MemorySystem(net, profile(), seed=3)
+        system.run(3000)
+        kinds = {r.kind for r in recorder.trace}
+        assert "INV" in kinds
+        assert "INV_ACK" in kinds
+
+    def test_zero_fanout_generates_no_invalidations(self):
+        from repro.traffic.trace import TraceRecorder
+
+        net = make_network(Design.BACKPRESSURED)
+        recorder = TraceRecorder(net)
+        system = MemorySystem(
+            net, profile(invalidation_fanout=0.0), seed=3
+        )
+        system.run(3000)
+        kinds = {r.kind for r in recorder.trace}
+        assert "INV" not in kinds
+
+    def test_fanout_increases_write_latency(self):
+        latencies = {}
+        for fanout in (0.0, 4.0):
+            net = make_network(Design.BACKPRESSURED)
+            system = MemorySystem(
+                net, profile(invalidation_fanout=fanout), seed=3
+            )
+            system.run(5000)
+            latencies[fanout] = system.avg_miss_latency
+        assert latencies[4.0] > latencies[0.0]
+
+    def test_runs_on_all_datapaths(self):
+        for design in (
+            Design.BACKPRESSURELESS,
+            Design.AFC,
+        ):
+            net = make_network(design)
+            system = MemorySystem(net, profile(), seed=3)
+            system.run(2500)
+            assert system.transactions_completed > 0
+            net.check_flit_conservation()
+
+    def test_fanout_validation(self):
+        with pytest.raises(ValueError):
+            profile(invalidation_fanout=-1.0)

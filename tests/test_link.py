@@ -1,0 +1,141 @@
+"""Unit tests for delay lines, channels and backflow messages."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import Direction, Packet, VirtualNetwork
+from repro.network.link import (
+    Channel,
+    CreditMessage,
+    DelayLine,
+    ModeNotice,
+    ModeNotification,
+)
+
+
+def flit_for(dst=1):
+    packet = Packet(
+        src=0, dst=dst, vnet=VirtualNetwork.DATA, num_flits=1, created_at=0
+    )
+    return next(packet.flits())
+
+
+class TestDelayLine:
+    def test_zero_latency(self):
+        line = DelayLine(0)
+        line.push("a", cycle=5)
+        assert line.pop_ready(5) == ["a"]
+
+    def test_latency_hides_item(self):
+        line = DelayLine(3)
+        line.push("a", cycle=0)
+        assert line.pop_ready(2) == []
+        assert line.pop_ready(3) == ["a"]
+
+    def test_fifo_order_same_cycle(self):
+        line = DelayLine(1)
+        line.push("a", cycle=0)
+        line.push("b", cycle=0)
+        assert line.pop_ready(1) == ["a", "b"]
+
+    def test_pop_is_destructive(self):
+        line = DelayLine(1)
+        line.push("a", cycle=0)
+        assert line.pop_ready(1) == ["a"]
+        assert line.pop_ready(10) == []
+
+    def test_peek_is_not_destructive(self):
+        line = DelayLine(1)
+        line.push("a", cycle=0)
+        assert line.peek_ready(1) == ["a"]
+        assert line.pop_ready(1) == ["a"]
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            DelayLine(-1)
+
+    def test_rejects_time_travel(self):
+        line = DelayLine(2)
+        line.push("a", cycle=10)
+        with pytest.raises(ValueError, match="non-decreasing"):
+            line.push("b", cycle=5)
+
+    def test_in_flight_count(self):
+        line = DelayLine(2)
+        line.push("a", cycle=0)
+        line.push("b", cycle=1)
+        assert line.in_flight == 2
+        line.pop_ready(2)
+        assert line.in_flight == 1
+
+    @given(
+        latency=st.integers(0, 5),
+        cycles=st.lists(st.integers(0, 50), min_size=1, max_size=20),
+    )
+    def test_everything_arrives_exactly_latency_later(self, latency, cycles):
+        line = DelayLine(latency)
+        delivered = []
+        for i, cycle in enumerate(sorted(cycles)):
+            line.push((i, cycle), cycle)
+        horizon = max(cycles) + latency
+        for now in range(horizon + 1):
+            for item, pushed in line.pop_ready(now):
+                assert now >= pushed + latency
+                delivered.append(item)
+        assert delivered == list(range(len(cycles)))
+
+
+class TestChannel:
+    def test_rejects_local_direction(self):
+        with pytest.raises(ValueError):
+            Channel(0, Direction.LOCAL, 1, link_latency=2)
+
+    def test_flit_timing_is_one_plus_l(self):
+        # dispatch at t arrives at t + 1 + L (ST overlaps partial LT)
+        ch = Channel(0, Direction.EAST, 1, link_latency=2)
+        flit = flit_for()
+        ch.send_flit(flit, cycle=10)
+        assert ch.deliver_flits(12) == []
+        assert ch.deliver_flits(13) == [flit]
+
+    def test_send_increments_hops(self):
+        ch = Channel(0, Direction.EAST, 1, link_latency=2)
+        flit = flit_for()
+        ch.send_flit(flit, cycle=0)
+        assert flit.hops == 1
+        assert ch.flit_traversals == 1
+
+    def test_flits_in_flight(self):
+        ch = Channel(0, Direction.EAST, 1, link_latency=2)
+        ch.send_flit(flit_for(), cycle=0)
+        ch.send_flit(flit_for(), cycle=1)
+        assert ch.flits_in_flight == 2
+        ch.deliver_flits(3)
+        assert ch.flits_in_flight == 1
+
+    def test_backflow_timing_is_l(self):
+        ch = Channel(0, Direction.EAST, 1, link_latency=2)
+        credit = CreditMessage(vnet=VirtualNetwork.DATA)
+        ch.send_credit(credit, cycle=10)
+        assert ch.deliver_backflow(11) == []
+        assert ch.deliver_backflow(12) == [("credit", credit)]
+
+    def test_mode_notice_shares_backflow(self):
+        ch = Channel(0, Direction.EAST, 1, link_latency=1)
+        notice = ModeNotification(kind=ModeNotice.STOP_CREDITS)
+        ch.send_credit(CreditMessage(vnet=VirtualNetwork.DATA), cycle=0)
+        ch.send_mode_notice(notice, cycle=0)
+        kinds = [k for k, _ in ch.deliver_backflow(1)]
+        assert kinds == ["credit", "mode"]
+
+
+class TestCreditMessage:
+    def test_defaults(self):
+        credit = CreditMessage(vnet=VirtualNetwork.DATA)
+        assert credit.vc == -1
+        assert not credit.frees_vc
+        assert not credit.debit
+
+    def test_notification_defaults(self):
+        notice = ModeNotification(kind=ModeNotice.START_CREDITS)
+        assert notice.occupied == (0, 0, 0)

@@ -1,0 +1,266 @@
+"""Tests for the closed-loop memory-system substrate."""
+
+import random
+
+import pytest
+
+from repro import Design, MachineConfig, NetworkConfig, VirtualNetwork
+from repro.memsys import Core, L2Bank, MemorySystem, MessageType
+from repro.memsys.l2bank import BankRequest
+from repro.memsys.protocol import message_flits, message_vnet
+from repro.traffic.workloads import WORKLOADS, WorkloadProfile
+
+from conftest import make_network
+
+
+def profile(**overrides) -> WorkloadProfile:
+    base = dict(
+        name="test",
+        description="synthetic test profile",
+        demand_rate=0.02,
+        write_fraction=0.3,
+        sharing_fraction=0.2,
+        dirty_writeback_fraction=0.3,
+        paper_injection_rate=0.5,
+        high_load=True,
+    )
+    base.update(overrides)
+    return WorkloadProfile(**base)
+
+
+class TestProtocol:
+    def test_requests_on_request_network(self):
+        for mtype in (MessageType.GETS, MessageType.GETX, MessageType.FWD):
+            assert message_vnet(mtype) is VirtualNetwork.CONTROL_REQ
+
+    def test_fills_and_writebacks_on_data_network(self):
+        for mtype in (
+            MessageType.DATA,
+            MessageType.OWNER_DATA,
+            MessageType.WB,
+        ):
+            assert message_vnet(mtype) is VirtualNetwork.DATA
+
+    def test_acks_on_response_network(self):
+        assert message_vnet(MessageType.WB_ACK) is VirtualNetwork.CONTROL_RESP
+
+    def test_sizes(self):
+        cfg = NetworkConfig()
+        assert message_flits(cfg, MessageType.GETS) == 2
+        assert message_flits(cfg, MessageType.DATA) == 18
+        assert message_flits(cfg, MessageType.WB) == 18
+        assert message_flits(cfg, MessageType.WB_ACK) == 2
+
+    def test_classification(self):
+        assert MessageType.GETS.is_request
+        assert not MessageType.DATA.is_request
+        assert MessageType.OWNER_DATA.is_fill
+        assert not MessageType.FWD.is_fill
+
+
+class TestCore:
+    def _core(self, demand=0.5, mshrs=4):
+        return Core(
+            node=0,
+            profile=profile(demand_rate=demand),
+            machine=MachineConfig(l1_mshrs=mshrs),
+            rng=random.Random(0),
+        )
+
+    def test_issues_misses_over_time(self):
+        core = self._core(demand=0.5)
+        issued = sum(
+            core.tick(cycle) is not None for cycle in range(200)
+        )
+        # without completions, issue stops at the MSHR limit
+        assert issued == 4
+        assert len(core.outstanding) == 4
+
+    def test_stalls_when_mshrs_full(self):
+        core = self._core(demand=1.0, mshrs=1)
+        for cycle in range(10):
+            core.tick(cycle)
+        assert core.stall_cycles > 0
+
+    def test_fill_frees_mshr_and_counts(self):
+        core = self._core(demand=1.0, mshrs=1)
+        txn = None
+        cycle = 0
+        while txn is None:
+            txn = core.tick(cycle)
+            cycle += 1
+        core.on_fill(txn.tid, cycle=cycle + 50)
+        assert core.completed == 1
+        assert not core.outstanding
+        assert core.avg_miss_latency > 0
+
+    def test_fill_unknown_tid_raises(self):
+        core = self._core()
+        with pytest.raises(KeyError):
+            core.on_fill(999, cycle=5)
+
+    def test_zero_demand_never_issues(self):
+        core = self._core(demand=0.0)
+        assert all(core.tick(c) is None for c in range(100))
+
+    def test_write_fraction_extremes(self):
+        all_writes = Core(
+            node=0,
+            profile=profile(demand_rate=1.0, write_fraction=1.0),
+            machine=MachineConfig(),
+            rng=random.Random(0),
+        )
+        txns = [all_writes.tick(c) for c in range(30)]
+        txns = [t for t in txns if t]
+        assert txns and all(t.is_write for t in txns)
+        assert all(
+            all_writes.request_type(t) is MessageType.GETX for t in txns
+        )
+
+    def test_reset_counters(self):
+        core = self._core(demand=1.0)
+        core.tick(0)
+        core.stall_cycles = 5
+        core.reset_counters()
+        assert core.stall_cycles == 0
+        assert core.issued == 0
+
+
+class TestL2Bank:
+    def _bank(self, sharing=0.0, mshrs=2):
+        return L2Bank(
+            node=0,
+            machine=MachineConfig(l2_mshrs=mshrs, l2_miss_rate=0.0),
+            rng=random.Random(0),
+            sharing_fraction=sharing,
+        )
+
+    def test_concurrency_limited_by_mshrs(self):
+        bank = self._bank(mshrs=2)
+        events = {}
+
+        def schedule(at, fn):
+            events.setdefault(at, []).append(fn)
+
+        done = []
+        for i in range(5):
+            bank.enqueue(BankRequest(requestor=1, tid=i, is_write=False))
+        bank.tick(0, schedule, lambda r, f, c: done.append(r.tid))
+        assert bank.outstanding == 2
+        assert len(bank.queue) == 3
+
+    def test_completion_after_l2_latency(self):
+        bank = self._bank()
+        events = {}
+
+        def schedule(at, fn):
+            events.setdefault(at, []).append(fn)
+
+        done = []
+        bank.enqueue(BankRequest(requestor=1, tid=7, is_write=False))
+        bank.tick(0, schedule, lambda r, f, c: done.append((r.tid, c)))
+        latency = MachineConfig().l2_latency
+        assert list(events) == [latency]
+        for fn in events[latency]:
+            fn(latency)
+        assert done == [(7, latency)]
+        assert bank.outstanding == 0
+        assert bank.requests_served == 1
+
+    def test_sharing_fraction_drives_forwarding(self):
+        bank = self._bank(sharing=1.0)
+        events = {}
+        forwarded = []
+        bank.enqueue(BankRequest(requestor=1, tid=0, is_write=False))
+        bank.tick(
+            0,
+            lambda at, fn: events.setdefault(at, []).append(fn),
+            lambda r, fwd, c: forwarded.append(fwd),
+        )
+        for fns in events.values():
+            for fn in fns:
+                fn(0)
+        assert forwarded == [True]
+
+
+class TestMemorySystem:
+    def test_transactions_complete_end_to_end(self):
+        net = make_network(Design.BACKPRESSURED)
+        system = MemorySystem(net, profile(demand_rate=0.01), seed=3)
+        system.run(3000)
+        assert system.transactions_completed > 0
+        assert system.avg_miss_latency > 0
+        net.check_flit_conservation()
+
+    def test_all_designs_run_the_same_workload(self):
+        for design in (
+            Design.BACKPRESSURED,
+            Design.BACKPRESSURELESS,
+            Design.AFC,
+        ):
+            net = make_network(design)
+            system = MemorySystem(net, profile(demand_rate=0.01), seed=3)
+            system.run(2000)
+            assert system.transactions_completed > 0
+            net.check_flit_conservation()
+
+    def test_writebacks_generated(self):
+        net = make_network(Design.BACKPRESSURED)
+        system = MemorySystem(
+            net, profile(demand_rate=0.02, dirty_writeback_fraction=1.0),
+            seed=3,
+        )
+        system.run(2000)
+        assert system.writebacks_issued > 0
+
+    def test_no_writebacks_when_clean(self):
+        net = make_network(Design.BACKPRESSURED)
+        system = MemorySystem(
+            net, profile(demand_rate=0.02, dirty_writeback_fraction=0.0),
+            seed=3,
+        )
+        system.run(2000)
+        assert system.writebacks_issued == 0
+
+    def test_sharing_creates_three_hop_fills(self):
+        net = make_network(Design.BACKPRESSURED)
+        system = MemorySystem(
+            net, profile(demand_rate=0.02, sharing_fraction=1.0), seed=3
+        )
+        system.run(2500)
+        assert system.transactions_completed > 0
+
+    def test_measurement_window(self):
+        net = make_network(Design.BACKPRESSURED)
+        system = MemorySystem(net, profile(demand_rate=0.02), seed=3)
+        system.run(1000)
+        system.begin_measurement()
+        assert system.transactions_completed == 0
+        system.run(1000)
+        assert system.measured_cycles == 1000
+        assert system.transactions_per_kilocycle_per_core > 0
+
+    def test_mshr_throttling_under_slow_network(self):
+        """The closed loop: higher demand cannot push injection past
+        what the network returns."""
+        net = make_network(Design.BACKPRESSURED)
+        system = MemorySystem(net, profile(demand_rate=0.5), seed=3)
+        system.run(3000)
+        mshrs = system.machine.l1_mshrs
+        assert all(
+            len(core.outstanding) <= mshrs for core in system.cores
+        )
+        total_stalls = sum(core.stall_cycles for core in system.cores)
+        assert total_stalls > 0
+
+    def test_schedule_rejects_past_events(self):
+        net = make_network(Design.BACKPRESSURED)
+        system = MemorySystem(net, profile(), seed=3)
+        with pytest.raises(ValueError):
+            system.schedule(net.cycle, lambda c: None)
+
+    def test_paper_workloads_drive_traffic(self):
+        net = make_network(Design.BACKPRESSURED)
+        system = MemorySystem(net, WORKLOADS["ocean"], seed=3)
+        system.run(2500)
+        assert net.stats.injection_rate > 0.05

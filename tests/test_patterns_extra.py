@@ -1,0 +1,116 @@
+"""Tests for the additional classic traffic permutations."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import Mesh
+from repro.traffic.patterns import BitReverse, Shuffle, Tornado
+
+
+RNG = random.Random(0)
+
+
+class TestTornado:
+    def test_half_row_shift_4x4(self):
+        mesh = Mesh(4, 4)
+        pattern = Tornado(mesh)
+        # shift = ceil(4/2) - 1 = 1
+        assert pattern.destination(mesh.node_at(0, 0), RNG) == mesh.node_at(
+            1, 0
+        )
+        assert pattern.destination(mesh.node_at(3, 2), RNG) == mesh.node_at(
+            0, 2
+        )
+
+    def test_stays_in_row(self):
+        mesh = Mesh(8, 8)
+        pattern = Tornado(mesh)
+        for src in range(64):
+            dst = pattern.destination(src, RNG)
+            assert mesh.coords(dst)[1] == mesh.coords(src)[1]
+
+    def test_loads_horizontal_links_asymmetrically(self):
+        mesh = Mesh(8, 8)
+        pattern = Tornado(mesh)
+        # every node sends 3 hops east (wrapping logically): DOR paths
+        # use only EAST/WEST links
+        for src in range(64):
+            dst = pattern.destination(src, RNG)
+            assert dst is not None and dst != src
+
+
+class TestBitReverse:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            BitReverse(Mesh(3, 3))
+
+    def test_known_mappings_4x4(self):
+        mesh = Mesh(4, 4)
+        pattern = BitReverse(mesh)
+        # 16 nodes -> 4 bits: 0001 -> 1000
+        assert pattern.destination(1, RNG) == 8
+        assert pattern.destination(8, RNG) == 1
+        assert pattern.destination(3, RNG) == 12  # 0011 -> 1100
+
+    def test_palindromes_are_silent(self):
+        mesh = Mesh(4, 4)
+        pattern = BitReverse(mesh)
+        assert pattern.destination(0, RNG) is None  # 0000
+        assert pattern.destination(6, RNG) is None  # 0110
+        assert pattern.destination(15, RNG) is None  # 1111
+
+    def test_is_an_involution(self):
+        mesh = Mesh(8, 8)
+        pattern = BitReverse(mesh)
+        for src in range(64):
+            dst = pattern.destination(src, RNG)
+            if dst is not None:
+                assert pattern.destination(dst, RNG) == src
+
+
+class TestShuffle:
+    def test_doubling_mod_n_minus_one(self):
+        mesh = Mesh(3, 3)
+        pattern = Shuffle(mesh)
+        assert pattern.destination(1, RNG) == 2
+        assert pattern.destination(3, RNG) == 6
+        assert pattern.destination(5, RNG) == 2  # 10 mod 8
+
+    def test_fixed_points_silent(self):
+        mesh = Mesh(3, 3)
+        pattern = Shuffle(mesh)
+        assert pattern.destination(0, RNG) is None
+        assert pattern.destination(8, RNG) is None  # node N-1 fixed
+
+    @given(
+        w=st.integers(2, 6),
+        h=st.integers(2, 6),
+        src=st.integers(0, 35),
+    )
+    def test_never_self(self, w, h, src):
+        mesh = Mesh(w, h)
+        if src >= mesh.num_nodes:
+            return
+        dst = Shuffle(mesh).destination(src, RNG)
+        assert dst is None or dst != src
+
+
+class TestPatternsDriveTraffic:
+    @pytest.mark.parametrize(
+        "pattern_cls", [Tornado, Shuffle]
+    )
+    def test_open_loop_delivery(self, pattern_cls):
+        from repro import Design, Network, NetworkConfig
+        from repro.traffic.synthetic import OpenLoopSource
+
+        config = NetworkConfig(width=4, height=4)
+        net = Network(config, Design.AFC, seed=0)
+        source = OpenLoopSource(
+            net, 0.2, pattern=pattern_cls(net.mesh), seed=5
+        )
+        source.run(1_000)
+        net.drain(max_cycles=30_000)
+        net.check_flit_conservation()
+        assert net.stats.packets_completed > 0

@@ -1,0 +1,143 @@
+"""Property-based invariants across router designs.
+
+The two invariants every flow-control design must uphold, regardless of
+traffic, mesh shape or seed:
+
+* conservation — every offered flit is delivered exactly once, none are
+  lost, duplicated or stranded;
+* progress — the network drains in bounded time once sources stop
+  (deadlock- and livelock-freedom, Section III-F).
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import Design, Network, NetworkConfig, Packet, VirtualNetwork
+from repro.network.flit import reset_packet_ids
+
+DESIGN_STRATEGY = st.sampled_from(
+    [
+        Design.BACKPRESSURED,
+        Design.BACKPRESSURELESS,
+        Design.AFC,
+        Design.AFC_ALWAYS_BACKPRESSURED,
+    ]
+)
+
+
+def _offer(net, rng, num_packets):
+    cfg = net.config
+    n = net.mesh.num_nodes
+    pids = []
+    for _ in range(num_packets):
+        src = rng.randrange(n)
+        dst = rng.randrange(n - 1)
+        dst = dst if dst < src else dst + 1
+        vnet = rng.choice(list(VirtualNetwork))
+        flits = (
+            cfg.data_packet_flits
+            if vnet is VirtualNetwork.DATA
+            else cfg.control_packet_flits
+        )
+        packet = Packet(
+            src=src, dst=dst, vnet=vnet, num_flits=flits,
+            created_at=net.cycle,
+        )
+        net.interface(src).offer(packet)
+        pids.append(packet.pid)
+    return pids
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    design=DESIGN_STRATEGY,
+    width=st.integers(2, 4),
+    height=st.integers(2, 4),
+    num_packets=st.integers(1, 60),
+    seed=st.integers(0, 10_000),
+)
+def test_conservation_and_progress(design, width, height, num_packets, seed):
+    reset_packet_ids()
+    config = NetworkConfig(width=width, height=height)
+    net = Network(config, design, seed=seed)
+    rng = random.Random(seed)
+    delivered = []
+    for ni in net.interfaces:
+        ni.on_packet = lambda done, _d=delivered: _d.append(done.packet.pid)
+    pids = _offer(net, rng, num_packets)
+    net.drain(max_cycles=60_000)  # progress: must not deadlock/livelock
+    net.check_flit_conservation()
+    assert sorted(delivered) == sorted(pids)  # exactly-once delivery
+    assert net.flits_in_network == 0
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    design=DESIGN_STRATEGY,
+    seed=st.integers(0, 10_000),
+    bursts=st.lists(st.integers(1, 40), min_size=1, max_size=3),
+)
+def test_staggered_bursts_conserve_flits(design, seed, bursts):
+    """Offers arriving while earlier traffic is still in flight."""
+    reset_packet_ids()
+    net = Network(NetworkConfig(), design, seed=seed)
+    rng = random.Random(seed)
+    expected = 0
+    for burst in bursts:
+        _offer(net, rng, burst)
+        expected += burst
+        net.run(rng.randrange(1, 60))
+        net.check_flit_conservation()
+    net.drain(max_cycles=60_000)
+    net.check_flit_conservation()
+    assert net.stats.packets_completed == expected
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    num_packets=st.integers(1, 50),
+)
+def test_deflection_only_designs_never_buffer(seed, num_packets):
+    reset_packet_ids()
+    net = Network(NetworkConfig(), Design.BACKPRESSURELESS, seed=seed)
+    rng = random.Random(seed)
+    _offer(net, rng, num_packets)
+    while net.flits_unaccounted:
+        net.step()
+        assert all(r.buffered_flits() == 0 for r in net.routers)
+        if net.cycle > 60_000:  # pragma: no cover - safety valve
+            pytest.fail("network failed to drain")
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    num_packets=st.integers(1, 50),
+)
+def test_backpressured_designs_never_deflect(seed, num_packets):
+    reset_packet_ids()
+    net = Network(NetworkConfig(), Design.BACKPRESSURED, seed=seed)
+    rng = random.Random(seed)
+    expected_hops = 0
+    delivered_packets = []
+    for ni in net.interfaces:
+        ni.on_packet = lambda done, _d=delivered_packets: _d.append(done)
+    _offer(net, rng, num_packets)
+    net.drain(max_cycles=60_000)
+    assert net.stats.deflections == 0
+    # XY routing: every flit of every packet took a minimal route
+    for done in delivered_packets:
+        packet = done.packet
+        minimal = net.mesh.hop_distance(packet.src, packet.dst)
+        assert done.hops == packet.num_flits * minimal

@@ -1,0 +1,146 @@
+"""Unit tests for receive-side reassembly."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Packet, VirtualNetwork
+from repro.network.reassembly import ReassemblyBuffer
+
+
+def make_flits(num_flits, dst=5, created_at=0):
+    packet = Packet(
+        src=0,
+        dst=dst,
+        vnet=VirtualNetwork.DATA,
+        num_flits=num_flits,
+        created_at=created_at,
+    )
+    return packet, list(packet.flits())
+
+
+class TestInOrder:
+    def test_single_flit_completes_immediately(self):
+        buf = ReassemblyBuffer(node=5)
+        packet, (flit,) = make_flits(1)
+        flit.injected_at = 3
+        done = buf.accept(flit, cycle=10)
+        assert done is not None
+        assert done.packet is packet
+        assert done.completed_at == 10
+        assert done.first_injected_at == 3
+
+    def test_multi_flit_completes_on_last(self):
+        buf = ReassemblyBuffer(node=5)
+        _, flits = make_flits(4)
+        for flit in flits[:-1]:
+            assert buf.accept(flit, cycle=1) is None
+        assert buf.accept(flits[-1], cycle=9) is not None
+
+    def test_latency_uses_created_at(self):
+        buf = ReassemblyBuffer(node=5)
+        packet, (flit,) = make_flits(1, created_at=7)
+        done = buf.accept(flit, cycle=20)
+        assert done.latency == 13
+
+
+class TestOutOfOrder:
+    def test_reverse_order(self):
+        buf = ReassemblyBuffer(node=5)
+        _, flits = make_flits(3)
+        assert buf.accept(flits[2], cycle=1) is None
+        assert buf.accept(flits[1], cycle=2) is None
+        assert buf.accept(flits[0], cycle=3) is not None
+
+    def test_interleaved_packets(self):
+        buf = ReassemblyBuffer(node=5)
+        pa, fa = make_flits(2)
+        pb, fb = make_flits(2)
+        assert buf.accept(fa[0], cycle=1) is None
+        assert buf.accept(fb[1], cycle=2) is None
+        done_a = buf.accept(fa[1], cycle=3)
+        assert done_a is not None and done_a.packet is pa
+        done_b = buf.accept(fb[0], cycle=4)
+        assert done_b is not None and done_b.packet is pb
+
+    def test_first_injected_is_minimum(self):
+        buf = ReassemblyBuffer(node=5)
+        _, flits = make_flits(2)
+        flits[0].injected_at = 9
+        flits[1].injected_at = 4
+        done_mid = buf.accept(flits[0], cycle=10)
+        assert done_mid is None
+        done = buf.accept(flits[1], cycle=11)
+        assert done.first_injected_at == 4
+
+    def test_hops_and_deflections_accumulate(self):
+        buf = ReassemblyBuffer(node=5)
+        _, flits = make_flits(2)
+        flits[0].hops, flits[0].deflections = 3, 1
+        flits[1].hops, flits[1].deflections = 5, 2
+        buf.accept(flits[0], cycle=1)
+        done = buf.accept(flits[1], cycle=2)
+        assert done.hops == 8
+        assert done.deflections == 3
+
+
+class TestErrors:
+    def test_wrong_destination_rejected(self):
+        buf = ReassemblyBuffer(node=4)
+        _, (flit,) = make_flits(1, dst=5)
+        with pytest.raises(ValueError, match="destined"):
+            buf.accept(flit, cycle=0)
+
+    def test_duplicate_flit_rejected(self):
+        buf = ReassemblyBuffer(node=5)
+        _, flits = make_flits(2)
+        buf.accept(flits[0], cycle=0)
+        with pytest.raises(ValueError, match="duplicate"):
+            buf.accept(flits[0], cycle=1)
+
+
+class TestOccupancy:
+    def test_pending_counts(self):
+        buf = ReassemblyBuffer(node=5)
+        _, flits = make_flits(3)
+        buf.accept(flits[0], cycle=0)
+        assert buf.pending_packets == 1
+        assert buf.pending_flits == 2
+        buf.accept(flits[1], cycle=1)
+        buf.accept(flits[2], cycle=2)
+        assert buf.pending_packets == 0
+        assert buf.pending_flits == 0
+
+    def test_high_water(self):
+        buf = ReassemblyBuffer(node=5)
+        _, fa = make_flits(2)
+        _, fb = make_flits(2)
+        buf.accept(fa[0], cycle=0)
+        buf.accept(fb[0], cycle=0)
+        assert buf.high_water == 2
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    sizes=st.lists(st.integers(1, 20), min_size=1, max_size=8),
+    seed=st.integers(0, 1000),
+)
+def test_any_arrival_order_reassembles(sizes, seed):
+    """Property: regardless of global flit arrival order, every packet
+    completes exactly once, on its last flit."""
+    buf = ReassemblyBuffer(node=5)
+    all_flits = []
+    packets = []
+    for size in sizes:
+        packet, flits = make_flits(size)
+        packets.append(packet)
+        all_flits.extend(flits)
+    random.Random(seed).shuffle(all_flits)
+    completed = []
+    for cycle, flit in enumerate(all_flits):
+        done = buf.accept(flit, cycle=cycle)
+        if done is not None:
+            completed.append(done.packet.pid)
+    assert sorted(completed) == sorted(p.pid for p in packets)
+    assert buf.pending_packets == 0

@@ -1,0 +1,108 @@
+"""Unit tests for dimension-ordered routing and productive ports."""
+
+from hypothesis import given, strategies as st
+
+from repro import Direction, Mesh
+from repro.network.routing import is_productive, productive_ports, xy_route
+
+
+meshes = st.builds(
+    Mesh,
+    width=st.integers(min_value=2, max_value=8),
+    height=st.integers(min_value=2, max_value=8),
+)
+
+
+def node_pair(mesh, data):
+    a = data.draw(st.integers(0, mesh.num_nodes - 1))
+    b = data.draw(st.integers(0, mesh.num_nodes - 1))
+    return a, b
+
+
+class TestXYRoute:
+    def test_at_destination(self):
+        assert xy_route(Mesh(3, 3), 4, 4) is Direction.LOCAL
+
+    def test_x_first(self):
+        mesh = Mesh(3, 3)
+        # 0 -> 8 must go EAST before SOUTH (XY order)
+        assert xy_route(mesh, 0, 8) is Direction.EAST
+        assert xy_route(mesh, 1, 8) is Direction.EAST
+        assert xy_route(mesh, 2, 8) is Direction.SOUTH
+
+    def test_pure_vertical(self):
+        mesh = Mesh(3, 3)
+        assert xy_route(mesh, 1, 7) is Direction.SOUTH
+        assert xy_route(mesh, 7, 1) is Direction.NORTH
+
+    def test_pure_horizontal(self):
+        mesh = Mesh(3, 3)
+        assert xy_route(mesh, 3, 5) is Direction.EAST
+        assert xy_route(mesh, 5, 3) is Direction.WEST
+
+    @given(meshes, st.data())
+    def test_route_reduces_distance(self, mesh, data):
+        src, dst = node_pair(mesh, data)
+        port = xy_route(mesh, src, dst)
+        if src == dst:
+            assert port is Direction.LOCAL
+        else:
+            nxt = mesh.neighbor(src, port)
+            assert (
+                mesh.hop_distance(nxt, dst)
+                == mesh.hop_distance(src, dst) - 1
+            )
+
+    @given(meshes, st.data())
+    def test_route_terminates_in_minimal_hops(self, mesh, data):
+        src, dst = node_pair(mesh, data)
+        current, hops = src, 0
+        while current != dst:
+            current = mesh.neighbor(current, xy_route(mesh, current, dst))
+            hops += 1
+        assert hops == mesh.hop_distance(src, dst)
+
+
+class TestProductivePorts:
+    def test_empty_at_destination(self):
+        assert productive_ports(Mesh(3, 3), 4, 4) == []
+
+    def test_two_ports_off_axis(self):
+        ports = productive_ports(Mesh(3, 3), 0, 8)
+        assert set(ports) == {Direction.EAST, Direction.SOUTH}
+
+    def test_dor_port_listed_first(self):
+        mesh = Mesh(3, 3)
+        ports = productive_ports(mesh, 0, 8)
+        assert ports[0] is xy_route(mesh, 0, 8)
+
+    def test_one_port_on_axis(self):
+        assert productive_ports(Mesh(3, 3), 0, 2) == [Direction.EAST]
+        assert productive_ports(Mesh(3, 3), 0, 6) == [Direction.SOUTH]
+
+    @given(meshes, st.data())
+    def test_all_productive_ports_reduce_distance(self, mesh, data):
+        src, dst = node_pair(mesh, data)
+        for port in productive_ports(mesh, src, dst):
+            assert is_productive(mesh, src, dst, port)
+
+    @given(meshes, st.data())
+    def test_productive_count_matches_offsets(self, mesh, data):
+        src, dst = node_pair(mesh, data)
+        sx, sy = mesh.coords(src)
+        dx, dy = mesh.coords(dst)
+        expected = int(sx != dx) + int(sy != dy)
+        assert len(productive_ports(mesh, src, dst)) == expected
+
+
+class TestIsProductive:
+    def test_local_only_at_destination(self):
+        mesh = Mesh(3, 3)
+        assert is_productive(mesh, 4, 4, Direction.LOCAL)
+        assert not is_productive(mesh, 4, 5, Direction.LOCAL)
+
+    def test_off_mesh_port_not_productive(self):
+        assert not is_productive(Mesh(3, 3), 0, 8, Direction.WEST)
+
+    def test_backwards_port_not_productive(self):
+        assert not is_productive(Mesh(3, 3), 4, 5, Direction.WEST)

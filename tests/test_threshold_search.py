@@ -1,0 +1,106 @@
+"""Tests for the empirical threshold-derivation tool."""
+
+import pytest
+
+from repro import NetworkConfig, RouterClass
+from repro.core.threshold_search import (
+    NEVER_SWITCH,
+    derive_thresholds_empirically,
+    find_crossover_rate,
+    measure_class_intensity,
+)
+
+
+class TestNeverSwitchTable:
+    def test_is_a_valid_threshold_table(self):
+        for cls in RouterClass:
+            pair = NEVER_SWITCH[cls]
+            assert 0 < pair.low < pair.high
+
+
+class TestCrossoverRate:
+    def test_finds_a_rate_in_the_sweep(self):
+        rate = find_crossover_rate(
+            NetworkConfig(),
+            rates=(0.5, 0.7, 0.9),
+            warmup_cycles=600,
+            measure_cycles=1_500,
+        )
+        assert rate in (0.5, 0.7, 0.9)
+
+    def test_deflection_wins_at_low_load_only(self):
+        """At 0.2 flits/node/cycle there is no crossover, so the sweep
+        falls through to its last rate."""
+        rate = find_crossover_rate(
+            NetworkConfig(),
+            rates=(0.1, 0.2),
+            warmup_cycles=400,
+            measure_cycles=1_000,
+        )
+        assert rate == 0.2
+
+
+class TestClassIntensity:
+    def test_intensity_grows_with_load(self):
+        low = measure_class_intensity(
+            NetworkConfig(), rate=0.1, warmup_cycles=400,
+            measure_cycles=800, seeds=1,
+        )
+        high = measure_class_intensity(
+            NetworkConfig(), rate=0.5, warmup_cycles=400,
+            measure_cycles=800, seeds=1,
+        )
+        for cls in RouterClass:
+            assert high[cls] > low[cls] > 0.0
+
+    def test_center_sees_more_traffic_than_corner(self):
+        intensity = measure_class_intensity(
+            NetworkConfig(), rate=0.4, warmup_cycles=400,
+            measure_cycles=800, seeds=1,
+        )
+        assert (
+            intensity[RouterClass.CENTER]
+            > intensity[RouterClass.EDGE]
+            > intensity[RouterClass.CORNER]
+        )
+
+
+class TestDerivation:
+    def test_produces_ordered_valid_pairs(self):
+        result = derive_thresholds_empirically(
+            NetworkConfig(), switch_rate=0.5, seeds=1
+        )
+        assert result.switch_rate == 0.5
+        for cls in RouterClass:
+            pair = result.thresholds[cls]
+            assert 0 < pair.low < pair.high
+        assert (
+            result.thresholds[RouterClass.CENTER].high
+            > result.thresholds[RouterClass.CORNER].high
+        )
+
+    def test_hysteresis_ratio_respected(self):
+        result = derive_thresholds_empirically(
+            NetworkConfig(), switch_rate=0.5, hysteresis=0.5, seeds=1
+        )
+        for pair in result.thresholds.values():
+            assert pair.low == pytest.approx(0.5 * pair.high, abs=0.011)
+
+    def test_hysteresis_bounds(self):
+        with pytest.raises(ValueError):
+            derive_thresholds_empirically(hysteresis=1.0)
+
+    def test_derived_table_is_usable(self):
+        """A derived table plugs straight into NetworkConfig and runs."""
+        from repro import Design, Network
+        from repro.traffic.synthetic import uniform_random_traffic
+
+        derived = derive_thresholds_empirically(
+            NetworkConfig(), switch_rate=0.5, seeds=1
+        )
+        config = NetworkConfig(thresholds=derived.thresholds)
+        net = Network(config, Design.AFC, seed=0)
+        src = uniform_random_traffic(net, 0.6, seed=1, source_queue_limit=300)
+        src.run(1_200)
+        net.check_flit_conservation()
+        assert net.stats.flits_ejected > 0

@@ -1,0 +1,48 @@
+"""Tests for the local contention threshold tables."""
+
+import pytest
+
+from repro import ContentionThresholds, NetworkConfig, RouterClass
+from repro.core.thresholds import derive_thresholds, thresholds_for
+
+
+class TestThresholdsFor:
+    def test_uses_config_table(self):
+        cfg = NetworkConfig()
+        t = thresholds_for(cfg, RouterClass.CENTER)
+        assert (t.high, t.low) == (2.2, 1.7)
+        t = thresholds_for(cfg, RouterClass.CORNER)
+        assert (t.high, t.low) == (1.8, 1.2)
+        t = thresholds_for(cfg, RouterClass.EDGE)
+        assert (t.high, t.low) == (2.1, 1.3)
+
+    def test_custom_table_flows_through(self):
+        table = {
+            cls: ContentionThresholds(high=5.0, low=1.0)
+            for cls in RouterClass
+        }
+        cfg = NetworkConfig(thresholds=table)
+        assert thresholds_for(cfg, RouterClass.EDGE).high == 5.0
+
+
+class TestDeriveThresholds:
+    def test_defaults_reproduce_paper_values(self):
+        """Section IV: corner 1.8/1.2, edge 2.1/1.3, center 2.2/1.7."""
+        table = derive_thresholds()
+        assert table[RouterClass.CORNER] == ContentionThresholds(1.8, 1.2)
+        assert table[RouterClass.EDGE] == ContentionThresholds(2.1, 1.3)
+        assert table[RouterClass.CENTER] == ContentionThresholds(2.2, 1.7)
+
+    def test_scaling_preserves_ordering(self):
+        table = derive_thresholds(center_high=4.4, center_low=3.4)
+        assert (
+            table[RouterClass.CORNER].high
+            < table[RouterClass.EDGE].high
+            < table[RouterClass.CENTER].high
+        )
+        for cls in RouterClass:
+            assert table[cls].low < table[cls].high
+
+    def test_invalid_pair_rejected(self):
+        with pytest.raises(ValueError):
+            derive_thresholds(center_high=1.0, center_low=2.0)

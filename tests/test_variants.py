@@ -1,0 +1,279 @@
+"""Tests for the Section II/VI variant designs: age-priority deflection,
+SCARAB-style packet dropping, and the realistic buffer-bypass baseline."""
+
+import pytest
+
+from repro import Design, Network, NetworkConfig, Packet, VirtualNetwork
+from repro.network.config import CONTROL_BITS
+from repro.routers.backpressureless import age_key
+from repro.routers.dropping import DroppingRouter
+from repro.traffic.synthetic import uniform_random_traffic
+
+from conftest import make_network, offer_random_burst, single_packet_network
+
+
+class TestDesignRegistry:
+    def test_variant_router_classes(self):
+        from repro.routers import (
+            BackpressuredRouter,
+            DroppingRouter,
+            PriorityDeflectionRouter,
+        )
+
+        expected = {
+            Design.BACKPRESSURELESS_PRIORITY: PriorityDeflectionRouter,
+            Design.BACKPRESSURELESS_DROPPING: DroppingRouter,
+            Design.BACKPRESSURED_BYPASS: BackpressuredRouter,
+        }
+        for design, cls in expected.items():
+            net = make_network(design)
+            assert all(isinstance(r, cls) for r in net.routers)
+
+    def test_variant_classification(self):
+        assert Design.BACKPRESSURELESS_PRIORITY.is_deflection_family
+        assert not Design.BACKPRESSURELESS_DROPPING.is_deflection_family
+        assert Design.BACKPRESSURELESS_DROPPING.is_backpressureless
+        assert Design.BACKPRESSURED_BYPASS.is_backpressured_baseline
+
+    def test_variant_flit_widths(self):
+        cfg = NetworkConfig()
+        # the age field costs the priority variant extra control bits
+        assert CONTROL_BITS[Design.BACKPRESSURELESS_PRIORITY] > CONTROL_BITS[
+            Design.BACKPRESSURELESS
+        ]
+        assert cfg.flit_bits(Design.BACKPRESSURED_BYPASS) == 41
+        assert cfg.flit_bits(Design.BACKPRESSURELESS_DROPPING) == 45
+
+    def test_backpressureless_variants_have_no_buffers(self):
+        cfg = NetworkConfig()
+        for design in (
+            Design.BACKPRESSURELESS_PRIORITY,
+            Design.BACKPRESSURELESS_DROPPING,
+        ):
+            assert cfg.buffer_flits_per_port(design) == 0
+
+
+class TestAgeKey:
+    def test_orders_by_injection_time_then_identity(self):
+        p1 = Packet(
+            src=0, dst=1, vnet=VirtualNetwork.DATA, num_flits=2, created_at=0
+        )
+        p2 = Packet(
+            src=0, dst=1, vnet=VirtualNetwork.DATA, num_flits=1, created_at=0
+        )
+        a, b = list(p1.flits())
+        (c,) = list(p2.flits())
+        a.injected_at, b.injected_at, c.injected_at = 5, 9, 5
+        assert sorted([b, c, a], key=age_key) == [a, c, b]
+
+    def test_uninjected_flits_sort_first(self):
+        p = Packet(
+            src=0, dst=1, vnet=VirtualNetwork.DATA, num_flits=1, created_at=0
+        )
+        (f,) = p.flits()
+        assert age_key(f)[0] == 0
+
+
+class TestPriorityDeflection:
+    def test_zero_load_latency_matches(self):
+        net, _ = single_packet_network(
+            Design.BACKPRESSURELESS_PRIORITY, src=0, dst=8, num_flits=1
+        )
+        net.drain()
+        assert net.stats.avg_network_latency == 12
+
+    def test_burst_conservation(self):
+        net = make_network(Design.BACKPRESSURELESS_PRIORITY)
+        offer_random_burst(net, 120)
+        net.drain(max_cycles=30_000)
+        net.check_flit_conservation()
+        assert net.stats.packets_completed == 120
+
+    def test_comparable_to_randomized(self):
+        """The paper's argument: randomization suffices — both variants
+        deliver similar throughput."""
+        thr = {}
+        for design in (
+            Design.BACKPRESSURELESS,
+            Design.BACKPRESSURELESS_PRIORITY,
+        ):
+            net = make_network(design)
+            src = uniform_random_traffic(
+                net, 0.6, seed=3, source_queue_limit=300
+            )
+            src.run(1000)
+            net.begin_measurement()
+            src.run(2500)
+            thr[design] = net.stats.throughput
+        assert thr[Design.BACKPRESSURELESS_PRIORITY] == pytest.approx(
+            thr[Design.BACKPRESSURELESS], rel=0.05
+        )
+
+
+class TestDroppingRouter:
+    def test_zero_load_latency_matches(self):
+        net, _ = single_packet_network(
+            Design.BACKPRESSURELESS_DROPPING, src=0, dst=8, num_flits=1
+        )
+        net.drain()
+        assert net.stats.avg_network_latency == 12
+
+    def test_never_deflects(self):
+        net = make_network(Design.BACKPRESSURELESS_DROPPING)
+        offer_random_burst(net, 100)
+        net.drain(max_cycles=60_000)
+        assert net.stats.deflections == 0
+
+    def test_contention_causes_drops_and_retransmission(self):
+        net = make_network(Design.BACKPRESSURELESS_DROPPING)
+        offer_random_burst(net, 100)
+        net.drain(max_cycles=60_000)
+        assert net.stats.flits_dropped > 0
+        assert net.flits_discarded > 0
+        net.check_flit_conservation()
+        assert net.stats.packets_completed == 100  # all eventually arrive
+
+    def test_epoch_bumped_on_drop(self):
+        net = make_network(Design.BACKPRESSURELESS_DROPPING)
+        router = net.router(0)
+        packet = Packet(
+            src=1, dst=8, vnet=VirtualNetwork.DATA, num_flits=4, created_at=0
+        )
+        flit = next(packet.flits())
+        router._drop(flit, cycle=0)
+        assert packet.epoch == 1
+        assert net.stats.flits_dropped == 1
+        assert net.flits_discarded == 1
+
+    def test_second_drop_same_epoch_not_rescheduled(self):
+        net = make_network(Design.BACKPRESSURELESS_DROPPING)
+        router = net.router(0)
+        packet = Packet(
+            src=1, dst=8, vnet=VirtualNetwork.DATA, num_flits=4, created_at=0
+        )
+        flits = list(packet.flits())
+        router._drop(flits[0], cycle=0)
+        router._drop(flits[1], cycle=0)
+        assert packet.epoch == 1  # one retransmission per epoch
+        assert net.flits_awaiting_retransmit == 4
+
+    def test_stale_flit_drop_does_not_retransmit_again(self):
+        net = make_network(Design.BACKPRESSURELESS_DROPPING)
+        router = net.router(0)
+        packet = Packet(
+            src=1, dst=8, vnet=VirtualNetwork.DATA, num_flits=2, created_at=0
+        )
+        stale = next(packet.flits())
+        packet.epoch = 3  # superseded twice already
+        heap_before = net.flits_awaiting_retransmit
+        router._drop(stale, cycle=0)
+        assert packet.epoch == 3
+        assert net.flits_awaiting_retransmit == heap_before
+
+    def test_saturates_below_deflection(self):
+        """Section II: 'the variant that drops packets saturates at
+        lower loads, even according to the original paper'."""
+        thr = {}
+        for design in (
+            Design.BACKPRESSURELESS,
+            Design.BACKPRESSURELESS_DROPPING,
+        ):
+            net = make_network(design)
+            src = uniform_random_traffic(
+                net, 0.85, seed=3, source_queue_limit=300
+            )
+            src.run(1200)
+            net.begin_measurement()
+            src.run(3000)
+            thr[design] = net.stats.throughput
+        assert (
+            thr[Design.BACKPRESSURELESS_DROPPING]
+            < 0.92 * thr[Design.BACKPRESSURELESS]
+        )
+
+
+class TestStaleFlitHandling:
+    def test_reassembly_discards_stale_epochs(self):
+        from repro.network.reassembly import ReassemblyBuffer
+
+        buf = ReassemblyBuffer(node=5)
+        packet = Packet(
+            src=0, dst=5, vnet=VirtualNetwork.DATA, num_flits=2, created_at=0
+        )
+        old = list(packet.flits())
+        assert buf.accept(old[0], cycle=1) is None
+        packet.epoch = 1  # dropped somewhere; retransmission coming
+        assert buf.accept(old[1], cycle=2) is None  # stale: discarded
+        assert buf.stale_flits_discarded == 1
+        fresh = list(packet.flits())
+        assert buf.accept(fresh[0], cycle=3) is None  # resets old partials
+        done = buf.accept(fresh[1], cycle=4)
+        assert done is not None
+        assert buf.pending_packets == 0
+
+    def test_stale_flits_do_not_count_as_goodput(self):
+        from repro.network.interface import NetworkInterface
+        from repro.network.stats import StatsCollector
+
+        ni = NetworkInterface(node=5, stats=StatsCollector(9))
+        packet = Packet(
+            src=0, dst=5, vnet=VirtualNetwork.DATA, num_flits=2, created_at=0
+        )
+        stale = next(packet.flits())
+        packet.epoch = 1
+        ni.eject(stale, cycle=3)
+        assert ni.flits_ejected_total == 1  # conservation ledger
+        assert ni.stats.flits_ejected == 0  # not goodput
+
+
+class TestRealisticBypass:
+    def test_timing_identical_to_baseline(self):
+        results = []
+        for design in (Design.BACKPRESSURED, Design.BACKPRESSURED_BYPASS):
+            net = make_network(design)
+            offer_random_burst(net, 100)
+            net.drain()
+            results.append((net.cycle, net.stats.avg_packet_latency))
+        assert results[0] == results[1]
+
+    def test_energy_between_baseline_and_ideal_bound(self):
+        energy = {}
+        for design in (
+            Design.BACKPRESSURED,
+            Design.BACKPRESSURED_BYPASS,
+            Design.BACKPRESSURED_IDEAL_BYPASS,
+        ):
+            net = make_network(design)
+            src = uniform_random_traffic(net, 0.15, seed=3)
+            src.run(800)
+            net.begin_measurement()
+            src.run(2500)
+            e = net.measured_energy()
+            energy[design] = e.buffer_dynamic
+        assert energy[Design.BACKPRESSURED_IDEAL_BYPASS] == 0.0
+        assert (
+            0.0
+            < energy[Design.BACKPRESSURED_BYPASS]
+            < energy[Design.BACKPRESSURED]
+        )
+
+    def test_bypass_rate_high_at_low_load(self):
+        """At low load most flits cut through empty VCs."""
+        net_bypass = make_network(Design.BACKPRESSURED_BYPASS)
+        net_base = make_network(Design.BACKPRESSURED)
+        for net in (net_bypass, net_base):
+            src = uniform_random_traffic(net, 0.05, seed=3)
+            src.run(500)
+            net.begin_measurement()
+            src.run(2000)
+        saved = 1 - (
+            net_bypass.measured_energy().buffer_dynamic
+            / net_base.measured_energy().buffer_dynamic
+        )
+        assert saved > 0.5  # most buffer activity elided
+
+    def test_conservation(self):
+        net = make_network(Design.BACKPRESSURED_BYPASS)
+        offer_random_burst(net, 120)
+        net.drain(max_cycles=20_000)
+        net.check_flit_conservation()
