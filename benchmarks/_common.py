@@ -43,7 +43,7 @@ def report(name: str, text: str) -> None:
     """Print a result table and archive it for EXPERIMENTS.md."""
     print()
     print(text)
-    RESULTS_DIR.mkdir(exist_ok=True)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
 
 

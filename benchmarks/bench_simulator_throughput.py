@@ -1,0 +1,180 @@
+"""Simulator throughput benchmark (``BENCH_simulator.json``).
+
+Unlike the other benchmarks, this one measures the *simulator*, not the
+simulated designs: wall-clock cycles/sec and flit-hops/sec for open-loop
+uniform-random traffic on an 8×8 mesh, at low load (5 % injection, where
+the active-set engine skips most routers) and at saturation (40 %, where
+nearly everything is awake — the engine's worst case).
+
+Run standalone to (re)generate the archived JSON::
+
+    PYTHONPATH=src python benchmarks/bench_simulator_throughput.py \
+        --label current
+
+    # "before" numbers: point PYTHONPATH at a checkout of the baseline
+    # (e.g. a git worktree of the pre-engine commit) and re-run with a
+    # different label; measurements merge into the same JSON file.
+    PYTHONPATH=/path/to/baseline/src python \
+        benchmarks/bench_simulator_throughput.py --label seed
+
+The script measures every engine the imported build supports (a build
+without the ``engine`` parameter is measured once as ``naive``), asserts
+that all engines of one build produce bit-identical energy totals, and —
+whenever both a ``seed`` and a ``current`` label are present — computes
+per-scenario ``current-active vs seed-naive`` speedups.
+
+See ``docs/PERFORMANCE.md`` for how to read the archived numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import json
+import pathlib
+import time
+from typing import Dict, List, Optional
+
+RESULTS_PATH = (
+    pathlib.Path(__file__).parent / "results" / "BENCH_simulator.json"
+)
+
+WIDTH = 8
+HEIGHT = 8
+CYCLES = 2_000
+NET_SEED = 1
+TRAFFIC_SEED = 7
+SOURCE_QUEUE_LIMIT = 500
+LOW_RATE = 0.05
+HIGH_RATE = 0.40
+DESIGN_NAMES = ("backpressured", "backpressureless", "afc")
+
+
+def _supported_engines() -> List[Optional[str]]:
+    from repro.simulation import Network
+
+    if "engine" in inspect.signature(Network.__init__).parameters:
+        return ["naive", "active"]
+    return [None]  # pre-engine build: only the original loop exists
+
+
+def _measure(
+    design_name: str, rate: float, engine: Optional[str], cycles: int
+) -> Dict[str, float]:
+    from repro.network.config import Design, NetworkConfig
+    from repro.simulation import Network
+    from repro.traffic.synthetic import uniform_random_traffic
+
+    config = NetworkConfig(width=WIDTH, height=HEIGHT)
+    kwargs = {} if engine is None else {"engine": engine}
+    net = Network(config, Design(design_name), seed=NET_SEED, **kwargs)
+    source = uniform_random_traffic(
+        net, rate, seed=TRAFFIC_SEED, source_queue_limit=SOURCE_QUEUE_LIMIT
+    )
+    start = time.perf_counter()
+    source.run(cycles)
+    seconds = time.perf_counter() - start
+    hops = net.stats.dispatched_flit_hops
+    return {
+        "seconds": round(seconds, 4),
+        "cycles_per_sec": round(cycles / seconds, 1),
+        "flit_hops_per_sec": round(hops / seconds, 1),
+        "flit_hops": hops,
+        "energy_total_pj": net.energy.totals.total,
+    }
+
+
+def run_suite(cycles: int = CYCLES) -> Dict[str, dict]:
+    """Measure every (design, rate, engine) scenario of this build."""
+    engines = _supported_engines()
+    suite: Dict[str, dict] = {}
+    for design_name in DESIGN_NAMES:
+        for rate in (LOW_RATE, HIGH_RATE):
+            key = f"{design_name}@{rate}"
+            per_engine: Dict[str, dict] = {}
+            for engine in engines:
+                label = engine if engine is not None else "naive"
+                per_engine[label] = _measure(
+                    design_name, rate, engine, cycles
+                )
+            energies = {
+                m["energy_total_pj"] for m in per_engine.values()
+            }
+            if len(energies) != 1:
+                raise AssertionError(
+                    f"engines disagree on {key}: {per_engine}"
+                )
+            suite[key] = per_engine
+    return suite
+
+
+def _speedups(doc: dict) -> Dict[str, float]:
+    """current-active vs seed-naive wall-clock ratios per scenario."""
+    seed = doc["measurements"].get("seed")
+    current = doc["measurements"].get("current")
+    if not seed or not current:
+        return {}
+    out = {}
+    for key, engines in current.items():
+        if key not in seed or "active" not in engines:
+            continue
+        before = seed[key]["naive"]["seconds"]
+        after = engines["active"]["seconds"]
+        out[key] = round(before / after, 2)
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--label",
+        default="current",
+        help="measurement label ('current' for this tree, 'seed' for "
+        "the pre-engine baseline)",
+    )
+    parser.add_argument(
+        "--cycles",
+        type=int,
+        default=CYCLES,
+        help="simulated cycles per scenario",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=RESULTS_PATH
+    )
+    args = parser.parse_args(argv)
+
+    doc = {"measurements": {}}
+    if args.out.exists():
+        doc = json.loads(args.out.read_text())
+    doc.setdefault("measurements", {})
+    doc["config"] = {
+        "mesh": f"{WIDTH}x{HEIGHT}",
+        "cycles": args.cycles,
+        "low_rate": LOW_RATE,
+        "high_rate": HIGH_RATE,
+        "network_seed": NET_SEED,
+        "traffic_seed": TRAFFIC_SEED,
+        "source_queue_limit": SOURCE_QUEUE_LIMIT,
+    }
+    doc["measurements"][args.label] = run_suite(args.cycles)
+    doc["speedup_active_vs_seed"] = _speedups(doc)
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+    for key, ratio in doc["speedup_active_vs_seed"].items():
+        print(f"  speedup {key}: {ratio}x")
+    return 0
+
+
+# -- pytest-benchmark wrapper (smoke-sized) -----------------------------------
+def test_simulator_throughput_smoke(benchmark):
+    """Tiny smoke run: both engines work and agree at low load."""
+    from _common import run_once
+
+    suite = run_once(benchmark, lambda: run_suite(cycles=200))
+    assert f"afc@{LOW_RATE}" in suite
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

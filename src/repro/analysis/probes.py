@@ -78,6 +78,8 @@ class TimeSeriesProbe:
         """Sample if the interval elapsed; returns True when sampled."""
         if self.network.cycle - self._last_sample < self.every:
             return False
+        # Metrics read lazily-maintained router state (EWMA estimates).
+        self.network.sync_bookkeeping()
         self._last_sample = self.network.cycle
         self.cycles.append(self.network.cycle)
         for name, metric in self._metrics.items():

@@ -21,6 +21,7 @@ from typing import List, Optional, Sequence
 from .core.threshold_search import derive_thresholds_empirically
 from .harness.experiment import ExperimentRunner, MAIN_DESIGNS
 from .harness.reporting import format_normalized_table, format_table
+from .harness.sweep import SweepGrid, run_open_loop_sweep
 from .network.config import Design, NetworkConfig
 from .traffic.workloads import WORKLOADS
 
@@ -57,6 +58,20 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--seeds", type=int, default=1, help="independent runs to average"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for independent runs (1 = serial; results "
+            "are identical at any job count)"
+        ),
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile and print the top 20 cumulative entries",
+    )
 
 
 def _runner(args: argparse.Namespace) -> ExperimentRunner:
@@ -66,6 +81,7 @@ def _runner(args: argparse.Namespace) -> ExperimentRunner:
         warmup_cycles=args.warmup,
         measure_cycles=args.measure,
         seeds=args.seeds,
+        jobs=args.jobs,
     )
 
 
@@ -113,22 +129,35 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    runner = _runner(args)
     designs = args.designs or [
         Design.BACKPRESSURED,
         Design.BACKPRESSURELESS,
         Design.AFC,
     ]
+    grid = SweepGrid(
+        designs=designs,
+        rates=args.rates,
+        configs={
+            "cli": NetworkConfig(width=args.width, height=args.height)
+        },
+    )
+    table = run_open_loop_sweep(
+        grid,
+        warmup_cycles=args.warmup,
+        measure_cycles=args.measure,
+        seeds=args.seeds,
+        source_queue_limit=500,
+        jobs=args.jobs,
+    )
+    cells = {
+        (row[1], row[2]): (row[3], row[4]) for row in table.rows
+    }
     rows = []
     for rate in args.rates:
         row = [f"{rate:.2f}"]
         for design in designs:
-            point = runner.run_open_loop(
-                design, rate, source_queue_limit=500
-            )
-            row.append(
-                f"{point.throughput:.3f} / {point.avg_network_latency:6.1f}"
-            )
+            throughput, latency = cells[(design.value, rate)]
+            row.append(f"{throughput:.3f} / {latency:6.1f}")
         rows.append(row)
     print(
         format_table(
@@ -226,6 +255,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "profile", False):
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        try:
+            return profiler.runcall(args.func, args)
+        finally:
+            stats = pstats.Stats(profiler, stream=sys.stdout)
+            stats.sort_stats("cumulative").print_stats(20)
     return args.func(args)
 
 

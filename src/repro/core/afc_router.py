@@ -40,10 +40,9 @@ from typing import Dict, List, Optional, Tuple
 
 from ..network.config import Design, NetworkConfig
 from ..network.energy_hooks import EnergyMeter
-from ..network.flit import Flit, VirtualNetwork
+from ..network.flit import Flit, VirtualNetwork, VNETS
 from ..network.link import CreditMessage, ModeNotice, ModeNotification
 from ..network.router_base import BaseRouter
-from ..network.routing import productive_ports, xy_route
 from ..network.stats import StatsCollector
 from ..network.topology import Direction, Mesh
 from ..routers.backpressureless import allocate_deflection_ports
@@ -82,6 +81,8 @@ class AfcRouter(BaseRouter):
         )
         self._input_ports: Dict[Direction, LazyInputPort] = {}
         self._neighbors: Dict[Direction, NeighborCreditState] = {}
+        self._port_list: tuple = ()
+        self._neighbor_list: tuple = ()
         self._latched: List[Tuple[Flit, Direction]] = []
         #: Entry events this cycle (network arrivals + injections); the
         #: contention metric counts a flit "traversing through the
@@ -108,6 +109,11 @@ class AfcRouter(BaseRouter):
             self._neighbors[direction] = state
             self._grant_rr[direction] = 0
         self._grant_rr[Direction.LOCAL] = 0
+        self._cache_tables()
+        #: Frozen iteration snapshots for the hot paths; the dicts stay
+        #: the source of truth for keyed lookups.
+        self._port_list = tuple(self._input_ports.values())
+        self._neighbor_list = tuple(self._neighbors.values())
         self._finalized = True
 
     @property
@@ -161,6 +167,28 @@ class AfcRouter(BaseRouter):
         self._adapt(cycle)
         self._mode.tick_residency(self.stats.mode(self.node))
 
+    # -- activity reporting (active-set cycle engine) --------------------------
+    def is_quiescent(self) -> bool:
+        # A transition in flight acts at a future cycle, so it keeps the
+        # router stepping.  A still-draining load window is fine —
+        # idle_catch_up replays it exactly — unless replaying it would
+        # cross the forward threshold (idle_forward_safe).  Gossip
+        # pressure cannot become pending here: _adapt ran at the end of
+        # the last step, and any later neighbour state change arrives
+        # via backflow, which the engine refuses to sleep through.
+        return (
+            self._mode.mode is not Mode.TRANSITION
+            and self.resident_flits() == 0
+            and (self.ni is None or not self.ni.has_pending)
+            and self._mode.idle_forward_safe()
+        )
+
+    def catch_up(self, cycles: int) -> None:
+        self._mode.idle_catch_up(cycles, self.stats.mode(self.node))
+
+    def self_wake_in(self) -> Optional[int]:
+        return self._mode.idle_cycles_until_reverse()
+
     # -- adaptation policy -------------------------------------------------------
     def _adapt(self, cycle: int) -> None:
         if not self._mode.adaptive:
@@ -177,10 +205,11 @@ class AfcRouter(BaseRouter):
     def _gossip_pressure(self) -> bool:
         """True when a tracked (backpressured) neighbour's free buffers
         fell below the gossip threshold X (Section III-D)."""
-        return any(
-            nb.tracking and nb.total_free < self.config.gossip_threshold
-            for nb in self._neighbors.values()
-        )
+        threshold = self.config.gossip_threshold
+        for nb in self._neighbor_list:
+            if nb.tracking and nb.total_free < threshold:
+                return True
+        return False
 
     def _begin_forward(self, cycle: int, gossip: bool) -> None:
         self._mode.begin_forward(cycle)
@@ -209,14 +238,15 @@ class AfcRouter(BaseRouter):
 
     # -- backpressureless datapath --------------------------------------------------
     def _deflection_step(self, cycle: int) -> int:
+        if not self._latched and (self.ni is None or not self.ni.has_pending):
+            return 0  # idle: the full path below would do exactly nothing
         resident = self._latched
         self._latched = []
-        if len(resident) > len(self.network_ports):
+        if len(resident) > len(self._net_ports):
             raise RuntimeError(
                 f"deflection invariant violated at node {self.node}"
             )
         dispatched = 0
-        in_port_of = {id(flit): port for flit, port in resident}
         flits = [flit for flit, _ in resident]
 
         # 1. Ejection.
@@ -228,7 +258,10 @@ class AfcRouter(BaseRouter):
             self._eject(flit, cycle)
             ejected.add(id(flit))
             dispatched += 1
-        remaining = [f for f in flits if id(f) not in ejected]
+        if ejected:
+            remaining = [f for f in flits if id(f) not in ejected]
+        else:
+            remaining = flits
 
         # 2. Credit-masked deflection allocation.
         assignment, unplaced = allocate_deflection_ports(
@@ -236,12 +269,14 @@ class AfcRouter(BaseRouter):
             self.node,
             self.rng,
             remaining,
-            self.network_ports,
+            self._net_ports,
             port_allowed=lambda f, p: self._neighbors[p].can_send(f.vnet),
+            prod_row=self._prod_row,
         )
 
         # 3. Emergency buffering for flits with no usable port.
         if unplaced:
+            in_port_of = {id(flit): port for flit, port in resident}
             self._emergency_buffer(unplaced, in_port_of, cycle)
 
         # 4. Injection into a leftover free+allowed port.
@@ -285,10 +320,10 @@ class AfcRouter(BaseRouter):
     ) -> None:
         if self.ni is None or not self.ni.has_pending:
             return
-        free = [p for p in self.network_ports if p not in assignment]
+        free = [p for p in self._net_ports if p not in assignment]
         if not free:
             return
-        vnets = list(VirtualNetwork)
+        vnets = VNETS
         for offset in range(len(vnets)):
             vnet = vnets[(self._inject_rr + offset) % len(vnets)]
             if self.ni.peek(vnet) is None:
@@ -300,7 +335,7 @@ class AfcRouter(BaseRouter):
                 continue
             flit = self.ni.pop(vnet, cycle)
             chosen: Optional[Direction] = None
-            for port in productive_ports(self.mesh, self.node, flit.dst):
+            for port in self._prod_row[flit.dst]:
                 if port in allowed:
                     chosen = port
                     break
@@ -314,6 +349,10 @@ class AfcRouter(BaseRouter):
 
     # -- backpressured (lazy VC) datapath ----------------------------------------------
     def _backpressured_step(self, cycle: int) -> int:
+        if self.buffered_flits() == 0 and (
+            self.ni is None or not self.ni.has_pending
+        ):
+            return 0  # idle: nothing to inject, route, or arbitrate
         self._backpressured_inject(cycle)
         requests: Dict[Direction, List[Tuple[Direction, Flit]]] = {}
         for in_dir, port in self._input_ports.items():
@@ -359,11 +398,11 @@ class AfcRouter(BaseRouter):
         are not starved behind cache-line transfers), oldest flit first
         within a vnet.
         """
-        vnets = list(VirtualNetwork)
+        vnets = VNETS
         for offset in range(len(vnets)):
             vnet = vnets[(port.sa_rr + offset) % len(vnets)]
             for flit in port.flits_of(vnet):
-                out_port = xy_route(self.mesh, self.node, flit.dst)
+                out_port = self._xy_row[flit.dst]
                 if out_port is not Direction.LOCAL and not self._neighbors[
                     out_port
                 ].can_send(flit.vnet):
@@ -376,7 +415,7 @@ class AfcRouter(BaseRouter):
         if self.ni is None or not self.ni.has_pending:
             return
         local = self._input_ports[Direction.LOCAL]
-        vnets = list(VirtualNetwork)
+        vnets = VNETS
         for offset in range(len(vnets)):
             vnet = vnets[(self._inject_rr + offset) % len(vnets)]
             if self.ni.peek(vnet) is None:
@@ -407,7 +446,13 @@ class AfcRouter(BaseRouter):
     def buffered_flits(self) -> int:
         if not self._finalized:
             return 0
-        return sum(port.total_flits for port in self._input_ports.values())
+        # Plain loop over the frozen port tuple reading the ports' O(1)
+        # occupancy counters: this runs several times per awake cycle
+        # (energy gating, quiescence checks, reverse-switch guard).
+        total = 0
+        for port in self._port_list:
+            total += port._count  # LazyInputPort's O(1) occupancy counter
+        return total
 
     def resident_flits(self) -> int:
         return self.buffered_flits() + len(self._latched)

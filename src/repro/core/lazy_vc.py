@@ -44,6 +44,9 @@ class LazyInputPort:
         self._by_vnet: Dict[VirtualNetwork, List[Flit]] = {
             vnet: [] for vnet in VirtualNetwork
         }
+        #: Running total across vnets (occupancy is polled every cycle
+        #: by energy gating and the activity scheduler).
+        self._count = 0
         #: Switch-allocation round-robin pointer over virtual networks.
         self.sa_rr = 0
 
@@ -62,11 +65,11 @@ class LazyInputPort:
 
     @property
     def total_flits(self) -> int:
-        return sum(len(flits) for flits in self._by_vnet.values())
+        return self._count
 
     @property
     def empty(self) -> bool:
-        return all(not flits for flits in self._by_vnet.values())
+        return self._count == 0
 
     # -- flit movement ------------------------------------------------------------
     def insert(self, flit: Flit) -> None:
@@ -77,6 +80,7 @@ class LazyInputPort:
                 "per-vnet credit protocol violated"
             )
         self._by_vnet[flit.vnet].append(flit)
+        self._count += 1
 
     def flits(self) -> List[Flit]:
         """All buffered flits (oldest first within each vnet)."""
@@ -92,6 +96,7 @@ class LazyInputPort:
     def remove(self, flit: Flit) -> None:
         """Free the slot occupied by ``flit`` (it won arbitration)."""
         self._by_vnet[flit.vnet].remove(flit)
+        self._count -= 1
 
 
 class NeighborCreditState:

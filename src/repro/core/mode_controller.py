@@ -126,6 +126,143 @@ class ModeController:
             raise RuntimeError(f"reverse switch from mode {self.mode}")
         self.mode = Mode.BACKPRESSURELESS
 
+    # -- idle fast-path support (active-set cycle engine) ------------------------
+    #
+    # A quiescent router's only per-cycle state changes are (a) the EWMA
+    # decay performed by ``record_load(0)`` and (b) the residency tick.
+    # The three helpers below let the cycle engine skip such routers and
+    # replay that bookkeeping in a batch, *bit-identically*: the catch-up
+    # loop evaluates exactly the same floating-point expression per
+    # skipped cycle as the eager path would have.
+
+    def idle_stable(self) -> bool:
+        """True when further idle cycles decay the EWMA purely
+        geometrically: the load window holds only zeros, so each idle
+        ``record_load(0)`` computes ``ewma = alpha * ewma + (1 - alpha)
+        * 0.0`` — reproducible later without stepping the router."""
+        return not any(self._window)
+
+    def _drain_ewmas(self):
+        """Successive EWMA values for idle ``record_load(0)`` cycles
+        until the load window is all zeros (at most ``maxlen`` values),
+        evaluating the exact per-cycle expression on copies.  Mutates
+        nothing."""
+        win = list(self._window)
+        maxlen = self._window.maxlen or 0
+        alpha = self._alpha
+        ewma = self.ewma
+        while any(win):
+            win.append(0)
+            if len(win) > maxlen:
+                win.pop(0)
+            ewma = alpha * ewma + (1.0 - alpha) * (sum(win) / len(win))
+            yield ewma
+
+    def idle_forward_safe(self) -> bool:
+        """True when idling forever cannot spontaneously trigger a
+        forward switch: replaying idle cycles never lifts the EWMA above
+        the high threshold.  A non-zero window draining out of the
+        average can briefly *raise* the EWMA (toward the window average)
+        before the pure geometric decay takes over, so the drain is
+        replayed explicitly; once the window is all zeros the EWMA only
+        falls and the check is trivially true."""
+        if not self.adaptive or self.mode is not Mode.BACKPRESSURELESS:
+            return True  # no spontaneous forward switch in this mode
+        high = self.thresholds.high
+        if self.ewma > high:
+            return False
+        window = self._window
+        total = sum(window)
+        if total == 0:
+            return True  # pure decay, never rises
+        # Cheap sound bound before the exact replay: every replayed EWMA
+        # is a convex combination of the current EWMA and per-cycle
+        # window averages; each average divides a non-increasing sum
+        # (zeros push samples out) by the smallest window length the
+        # replay can see, so max(ewma, total/denom) bounds them all.
+        maxlen = window.maxlen or 0
+        n = len(window)
+        denom = n + 1 if n < maxlen else maxlen
+        if total / denom <= high:
+            return True
+        for ewma in self._drain_ewmas():
+            if ewma > high:
+                return False
+        return True
+
+    def idle_catch_up(self, cycles: int, entry: RouterModeStats) -> None:
+        """Replay ``cycles`` idle cycles of bookkeeping in a batch.
+
+        Must only be called when the mode cannot have changed while
+        asleep (the engine guarantees it).  Replays the exact per-cycle
+        EWMA update so the result is bit-identical to ``cycles`` eager
+        ``record_load(0)`` calls — including the window-drain cycles
+        where the load window still holds non-zero samples — and
+        charges the residency counters in one add.
+        """
+        if cycles <= 0:
+            return
+        alpha = self._alpha
+        window = self._window
+        ewma = self.ewma
+        remaining = cycles
+        # Drain phase: until the window is all zeros (≤ maxlen appends)
+        # each cycle's average still depends on the shifting contents.
+        while remaining > 0 and any(window):
+            window.append(0)
+            window_avg = sum(window) / len(window)
+            ewma = alpha * ewma + (1.0 - alpha) * window_avg
+            remaining -= 1
+        if remaining > 0:
+            maxlen = window.maxlen or 0
+            pad = min(remaining, maxlen - len(window))
+            if pad > 0:
+                window.extend([0] * pad)
+            # Identical expression to record_load(0): sum of an all-zero
+            # window divided by its (int) length is exactly 0.0.
+            window_avg = sum(window) / len(window)
+            beta = (1.0 - alpha) * window_avg
+            for _ in range(remaining):
+                ewma = alpha * ewma + beta
+        self.ewma = ewma
+        if self.mode is Mode.BACKPRESSURELESS:
+            entry.backpressureless_cycles += cycles
+        elif self.mode is Mode.TRANSITION:
+            entry.transition_cycles += cycles
+        else:
+            entry.backpressured_cycles += cycles
+
+    def idle_cycles_until_reverse(self) -> Optional[int]:
+        """Idle cycles after which a backpressured router's decaying
+        EWMA first drops below the low threshold (enabling the reverse
+        switch), or ``None`` when no such future switch is pending.
+
+        Replays the same per-cycle decay as :meth:`idle_catch_up`, so
+        the returned count names the exact cycle the eager loop would
+        have switched on.
+        """
+        if not (self.adaptive and self.mode is Mode.BACKPRESSURED):
+            return None
+        low = self.thresholds.low
+        if low <= 0.0:
+            return None  # a decaying EWMA can never cross it
+        if self.ewma < low:
+            # wants_reverse already holds; the next step switches.
+            return 1
+        ewma = self.ewma
+        k = 0
+        for ewma in self._drain_ewmas():
+            k += 1
+            if ewma < low:
+                return k
+        alpha = self._alpha
+        beta = (1.0 - alpha) * 0.0  # exactly what record_load(0) adds
+        for k in range(k + 1, 1 << 20):
+            ewma = alpha * ewma + beta
+            if ewma < low:
+                return k
+        return None  # pathological parameters: never sleeps on this
+
     # -- accounting ---------------------------------------------------------------
     def tick_residency(self, entry: RouterModeStats) -> None:
         """Charge this cycle to the current mode's residency counter."""

@@ -23,7 +23,7 @@ stated 30–40 % band; absolute joules are not meaningful, ratios are.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from ..network.config import CONTROL_BITS, Design, NetworkConfig
 from ..network.energy_hooks import EnergyMeter
@@ -197,3 +197,64 @@ class OrionEnergyMeter(EnergyMeter):
 
     def since(self, snapshot: EnergyBreakdown) -> EnergyBreakdown:
         return self.totals.minus(snapshot)
+
+
+class StaticEnergyCache:
+    """Incremental replacement for :meth:`OrionEnergyMeter.static_cycle`.
+
+    The per-cycle static integral only changes when some router's
+    power-gating state flips, so the active-set cycle engine keeps the
+    per-router leakage contributions cached and re-sums them only when a
+    router that actually stepped changed state.  Bit-identity with the
+    eager loop holds because each cached contribution is the very float
+    ``bits * leak_per_bit * scale`` the eager loop would add (``x * 1.0
+    == x`` covers the ungated case) and the re-sum accumulates them in
+    the same router order from the same ``0.0`` start.
+    """
+
+    def __init__(self, meter: OrionEnergyMeter, routers: Sequence) -> None:
+        self._meter = meter
+        params = meter.params
+        leak = params.buffer_leak_pj_per_bit_cycle
+        gated_scale = 1.0 - params.power_gating_effectiveness
+        self._routers = list(routers)
+        #: router index -> index into _vals, or -1 for leakless routers.
+        self._slot = [-1] * len(self._routers)
+        #: per-slot (ungated, gated) contribution; indexed by the bool.
+        self._pairs: List[Tuple[float, float]] = []
+        self._gated: List[bool] = []
+        self._vals: List[float] = []
+        logic_leak = 0.0
+        for i, router in enumerate(self._routers):
+            bits = router.buffer_capacity_flits * meter.physical_bits
+            if bits:
+                base = bits * leak
+                self._slot[i] = len(self._vals)
+                self._pairs.append((base, base * gated_scale))
+                gated = bool(router.buffers_power_gated)
+                self._gated.append(gated)
+                self._vals.append(self._pairs[-1][gated])
+            ports = len(router.in_channels) + 1  # + local port
+            logic_leak += ports * params.logic_leak_pj_per_port_cycle
+        self._logic = logic_leak
+        self._sum = sum(self._vals, 0.0)
+
+    def tick(self, stepped: Iterable[int]) -> None:
+        """Integrate one cycle; ``stepped`` are the router indices that
+        ran this cycle (the only ones whose gating state can have
+        flipped)."""
+        dirty = False
+        for i in stepped:
+            slot = self._slot[i]
+            if slot < 0:
+                continue
+            gated = bool(self._routers[i].buffers_power_gated)
+            if gated != self._gated[slot]:
+                self._gated[slot] = gated
+                self._vals[slot] = self._pairs[slot][gated]
+                dirty = True
+        if dirty:
+            self._sum = sum(self._vals, 0.0)
+        totals = self._meter.totals
+        totals.buffer_static += self._sum
+        totals.logic_static += self._logic

@@ -13,9 +13,20 @@ bars).
 from __future__ import annotations
 
 import math
+import multiprocessing
 import statistics
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+    Union,
+)
 
 from ..energy.model import EnergyBreakdown
 from ..memsys.system import MemorySystem
@@ -25,6 +36,7 @@ from ..network.config import (
     MachineConfig,
     NetworkConfig,
 )
+from ..network.flit import reset_packet_ids
 from ..simulation import Network
 from ..traffic.patterns import TrafficPattern
 from ..traffic.synthetic import OpenLoopSource, PacketMix
@@ -49,6 +61,176 @@ def _mean_std(values: Sequence[float]) -> Tuple[float, float]:
     mean = statistics.fmean(values)
     std = statistics.stdev(values) if len(values) > 1 else 0.0
     return mean, std
+
+
+_T = TypeVar("_T")
+_J = TypeVar("_J")
+
+
+def fork_context() -> Optional[multiprocessing.context.BaseContext]:
+    """The ``fork`` multiprocessing context, or ``None`` where the
+    platform does not offer it (then everything runs serially)."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None
+
+
+def map_jobs(
+    worker: Callable[[_J], _T], jobs_args: Sequence[_J], jobs: int
+) -> List[_T]:
+    """Run ``worker`` over ``jobs_args``, results in input order.
+
+    With ``jobs > 1`` and a usable ``fork`` start method the work fans
+    out across a :class:`ProcessPoolExecutor`; otherwise it runs
+    serially in-process.  ``pool.map`` preserves input order, and every
+    job is an independent simulation deriving its own seeds, so the
+    merged statistics are identical either way — parallelism changes
+    wall-clock time only.
+    """
+    ctx = fork_context()
+    if jobs <= 1 or len(jobs_args) <= 1 or ctx is None:
+        return [worker(args) for args in jobs_args]
+    workers = min(jobs, len(jobs_args))
+    with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
+        return list(pool.map(worker, jobs_args))
+
+
+@dataclass(frozen=True)
+class _ClosedLoopJob:
+    """Picklable description of one closed-loop (seed) run."""
+
+    config: NetworkConfig
+    machine: MachineConfig
+    warmup_cycles: int
+    measure_cycles: int
+    design: Design
+    workload: WorkloadProfile
+    seed: int
+
+
+@dataclass(frozen=True)
+class _ClosedLoopSample:
+    performance: float
+    energy_per_txn: float
+    breakdown_per_txn: EnergyBreakdown
+    injection_rate: float
+    avg_packet_latency: float
+    avg_miss_latency: float
+    backpressured_fraction: float
+    forward_switches: float
+    reverse_switches: float
+    gossip_switches: float
+
+
+def _run_closed_loop_seed(job: _ClosedLoopJob) -> _ClosedLoopSample:
+    """One warmed-up closed-loop run (module-level so it pickles).
+
+    Every RNG is seeded from the job alone, and nothing in a run
+    depends on the *absolute* value of the global packet-id counter
+    (ids only ever tie-break orderings, which offsets preserve), so a
+    sample is the same whether computed in-process or in a fresh
+    worker.  The reset keeps long sweeps from growing the counter
+    without bound.
+    """
+    reset_packet_ids()
+    net = Network(job.config, job.design, seed=job.seed)
+    system = MemorySystem(
+        net, job.workload, machine=job.machine, seed=1000 + job.seed
+    )
+    system.run(job.warmup_cycles)
+    system.begin_measurement()
+    system.run(job.measure_cycles)
+    txns = max(1, system.transactions_completed)
+    energy = net.measured_energy()
+    stats = net.stats
+    modes = stats.mode_stats.values()
+    return _ClosedLoopSample(
+        performance=system.transactions_per_kilocycle_per_core,
+        energy_per_txn=energy.total / txns,
+        breakdown_per_txn=EnergyBreakdown(
+            buffer_dynamic=energy.buffer_dynamic / txns,
+            buffer_static=energy.buffer_static / txns,
+            link=energy.link / txns,
+            crossbar=energy.crossbar / txns,
+            arbiter=energy.arbiter / txns,
+            latch=energy.latch / txns,
+            credit=energy.credit / txns,
+            logic_static=energy.logic_static / txns,
+        ),
+        injection_rate=stats.injection_rate,
+        avg_packet_latency=stats.avg_packet_latency,
+        avg_miss_latency=system.avg_miss_latency,
+        backpressured_fraction=stats.network_backpressured_fraction,
+        forward_switches=sum(m.forward_switches for m in modes),
+        reverse_switches=sum(m.reverse_switches for m in modes),
+        gossip_switches=stats.total_gossip_switches,
+    )
+
+
+@dataclass(frozen=True)
+class _OpenLoopJob:
+    """Picklable description of one open-loop (seed) run."""
+
+    config: NetworkConfig
+    warmup_cycles: int
+    measure_cycles: int
+    design: Design
+    rate: Union[float, Tuple[float, ...]]
+    pattern: Optional[TrafficPattern]
+    mix: PacketMix
+    latency_groups: Tuple[Tuple[str, Tuple[int, ...]], ...]
+    source_queue_limit: Optional[int]
+    seed: int
+
+
+@dataclass(frozen=True)
+class _OpenLoopSample:
+    throughput: float
+    avg_network_latency: float
+    avg_packet_latency: float
+    deflection_rate: float
+    energy_per_flit: float
+    breakdown: EnergyBreakdown
+    backpressured_fraction: float
+    gossip_switches: float
+    group_latency: Tuple[Tuple[str, float], ...]
+
+
+def _run_open_loop_seed(job: _OpenLoopJob) -> _OpenLoopSample:
+    """One warmed-up open-loop run (module-level so it pickles)."""
+    reset_packet_ids()
+    net = Network(job.config, job.design, seed=job.seed)
+    source = OpenLoopSource(
+        net,
+        job.rate,
+        pattern=job.pattern,
+        mix=job.mix,
+        seed=2000 + job.seed,
+        source_queue_limit=job.source_queue_limit,
+    )
+    source.run(job.warmup_cycles)
+    net.begin_measurement()
+    source.run(job.measure_cycles)
+    stats = net.stats
+    energy = net.measured_energy()
+    flits = max(1, stats.flits_ejected)
+    groups = []
+    for name, nodes in job.latency_groups:
+        members = set(nodes)
+        lat_sum = sum(stats.per_node_latency_sum[n] for n in members)
+        count = sum(stats.per_node_completed[n] for n in members)
+        groups.append((name, lat_sum / count if count else 0.0))
+    return _OpenLoopSample(
+        throughput=stats.throughput,
+        avg_network_latency=stats.avg_network_latency,
+        avg_packet_latency=stats.avg_packet_latency,
+        deflection_rate=stats.deflection_rate,
+        energy_per_flit=energy.total / flits,
+        breakdown=energy,
+        backpressured_fraction=stats.network_backpressured_fraction,
+        gossip_switches=stats.total_gossip_switches,
+        group_latency=tuple(groups),
+    )
 
 
 def _mean_breakdown(parts: Sequence[EnergyBreakdown]) -> EnergyBreakdown:
@@ -121,62 +303,41 @@ class ExperimentRunner:
         warmup_cycles: int = 4_000,
         measure_cycles: int = 10_000,
         seeds: int = 2,
+        jobs: int = 1,
     ) -> None:
         self.config = config if config is not None else NetworkConfig()
         self.machine = machine
         self.warmup_cycles = warmup_cycles
         self.measure_cycles = measure_cycles
         self.seeds = seeds
+        #: Worker processes for the per-seed runs; 1 = serial.  Results
+        #: are bit-identical at any job count (see :func:`map_jobs`).
+        self.jobs = jobs
 
     # -- closed loop ----------------------------------------------------------
     def run_closed_loop(
         self, design: Design, workload: WorkloadProfile
     ) -> ClosedLoopResult:
-        perfs: List[float] = []
-        energies: List[float] = []
-        breakdowns: List[EnergyBreakdown] = []
-        inj: List[float] = []
-        pkt_lat: List[float] = []
-        miss_lat: List[float] = []
-        bp_frac: List[float] = []
-        fw: List[float] = []
-        rv: List[float] = []
-        gossip: List[float] = []
-        for seed in range(self.seeds):
-            net = Network(self.config, design, seed=seed)
-            system = MemorySystem(
-                net, workload, machine=self.machine, seed=1000 + seed
-            )
-            system.run(self.warmup_cycles)
-            system.begin_measurement()
-            system.run(self.measure_cycles)
-            txns = max(1, system.transactions_completed)
-            energy = net.measured_energy()
-            perfs.append(system.transactions_per_kilocycle_per_core)
-            energies.append(energy.total / txns)
-            breakdowns.append(
-                EnergyBreakdown(
-                    buffer_dynamic=energy.buffer_dynamic / txns,
-                    buffer_static=energy.buffer_static / txns,
-                    link=energy.link / txns,
-                    crossbar=energy.crossbar / txns,
-                    arbiter=energy.arbiter / txns,
-                    latch=energy.latch / txns,
-                    credit=energy.credit / txns,
-                    logic_static=energy.logic_static / txns,
+        samples = map_jobs(
+            _run_closed_loop_seed,
+            [
+                _ClosedLoopJob(
+                    config=self.config,
+                    machine=self.machine,
+                    warmup_cycles=self.warmup_cycles,
+                    measure_cycles=self.measure_cycles,
+                    design=design,
+                    workload=workload,
+                    seed=seed,
                 )
-            )
-            stats = net.stats
-            inj.append(stats.injection_rate)
-            pkt_lat.append(stats.avg_packet_latency)
-            miss_lat.append(system.avg_miss_latency)
-            bp_frac.append(stats.network_backpressured_fraction)
-            modes = stats.mode_stats.values()
-            fw.append(sum(m.forward_switches for m in modes))
-            rv.append(sum(m.reverse_switches for m in modes))
-            gossip.append(stats.total_gossip_switches)
-        perf_mean, perf_std = _mean_std(perfs)
-        energy_mean, energy_std = _mean_std(energies)
+                for seed in range(self.seeds)
+            ],
+            self.jobs,
+        )
+        perf_mean, perf_std = _mean_std([s.performance for s in samples])
+        energy_mean, energy_std = _mean_std(
+            [s.energy_per_txn for s in samples]
+        )
         return ClosedLoopResult(
             design=design,
             workload=workload.name,
@@ -185,14 +346,30 @@ class ExperimentRunner:
             performance_std=perf_std,
             energy_per_txn=energy_mean,
             energy_per_txn_std=energy_std,
-            breakdown_per_txn=_mean_breakdown(breakdowns),
-            injection_rate=statistics.fmean(inj),
-            avg_packet_latency=statistics.fmean(pkt_lat),
-            avg_miss_latency=statistics.fmean(miss_lat),
-            backpressured_fraction=statistics.fmean(bp_frac),
-            forward_switches=statistics.fmean(fw),
-            reverse_switches=statistics.fmean(rv),
-            gossip_switches=statistics.fmean(gossip),
+            breakdown_per_txn=_mean_breakdown(
+                [s.breakdown_per_txn for s in samples]
+            ),
+            injection_rate=statistics.fmean(
+                s.injection_rate for s in samples
+            ),
+            avg_packet_latency=statistics.fmean(
+                s.avg_packet_latency for s in samples
+            ),
+            avg_miss_latency=statistics.fmean(
+                s.avg_miss_latency for s in samples
+            ),
+            backpressured_fraction=statistics.fmean(
+                s.backpressured_fraction for s in samples
+            ),
+            forward_switches=statistics.fmean(
+                s.forward_switches for s in samples
+            ),
+            reverse_switches=statistics.fmean(
+                s.reverse_switches for s in samples
+            ),
+            gossip_switches=statistics.fmean(
+                s.gossip_switches for s in samples
+            ),
         )
 
     # -- open loop ----------------------------------------------------------------
@@ -205,49 +382,41 @@ class ExperimentRunner:
         latency_groups: Optional[Dict[str, Sequence[int]]] = None,
         source_queue_limit: Optional[int] = 2_000,
     ) -> OpenLoopResult:
-        thr: List[float] = []
-        net_lat: List[float] = []
-        pkt_lat: List[float] = []
-        defl: List[float] = []
-        energy_pf: List[float] = []
-        breakdowns: List[EnergyBreakdown] = []
-        bp_frac: List[float] = []
-        gossip: List[float] = []
-        group_sums: Dict[str, List[float]] = {
-            name: [] for name in (latency_groups or {})
-        }
-        for seed in range(self.seeds):
-            net = Network(self.config, design, seed=seed)
-            source = OpenLoopSource(
-                net,
-                rate,
-                pattern=pattern,
-                mix=mix,
-                seed=2000 + seed,
-                source_queue_limit=source_queue_limit,
-            )
-            source.run(self.warmup_cycles)
-            net.begin_measurement()
-            source.run(self.measure_cycles)
-            stats = net.stats
-            energy = net.measured_energy()
-            flits = max(1, stats.flits_ejected)
-            thr.append(stats.throughput)
-            net_lat.append(stats.avg_network_latency)
-            pkt_lat.append(stats.avg_packet_latency)
-            defl.append(stats.deflection_rate)
-            energy_pf.append(energy.total / flits)
-            breakdowns.append(energy)
-            bp_frac.append(stats.network_backpressured_fraction)
-            gossip.append(stats.total_gossip_switches)
-            for name, nodes in (latency_groups or {}).items():
-                members = set(nodes)
-                lat_sum = sum(
-                    stats.per_node_latency_sum[n] for n in members
+        groups = tuple(
+            (name, tuple(nodes))
+            for name, nodes in (latency_groups or {}).items()
+        )
+        job_rate = (
+            rate if isinstance(rate, (int, float)) else tuple(rate)
+        )
+        samples = map_jobs(
+            _run_open_loop_seed,
+            [
+                _OpenLoopJob(
+                    config=self.config,
+                    warmup_cycles=self.warmup_cycles,
+                    measure_cycles=self.measure_cycles,
+                    design=design,
+                    rate=job_rate,
+                    pattern=pattern,
+                    mix=mix,
+                    latency_groups=groups,
+                    source_queue_limit=source_queue_limit,
+                    seed=seed,
                 )
-                count = sum(stats.per_node_completed[n] for n in members)
-                group_sums[name].append(lat_sum / count if count else 0.0)
-        lat_mean, lat_std = _mean_std(net_lat)
+                for seed in range(self.seeds)
+            ],
+            self.jobs,
+        )
+        group_sums: Dict[str, List[float]] = {
+            name: [] for name, _ in groups
+        }
+        for sample in samples:
+            for name, value in sample.group_latency:
+                group_sums[name].append(value)
+        lat_mean, lat_std = _mean_std(
+            [s.avg_network_latency for s in samples]
+        )
         offered = (
             float(rate)
             if isinstance(rate, (int, float))
@@ -257,15 +426,25 @@ class ExperimentRunner:
             design=design,
             offered_rate=offered,
             seeds=self.seeds,
-            throughput=statistics.fmean(thr),
+            throughput=statistics.fmean(s.throughput for s in samples),
             avg_network_latency=lat_mean,
             latency_std=lat_std,
-            avg_packet_latency=statistics.fmean(pkt_lat),
-            deflection_rate=statistics.fmean(defl),
-            energy_per_flit=statistics.fmean(energy_pf),
-            breakdown=_mean_breakdown(breakdowns),
-            backpressured_fraction=statistics.fmean(bp_frac),
-            gossip_switches=statistics.fmean(gossip),
+            avg_packet_latency=statistics.fmean(
+                s.avg_packet_latency for s in samples
+            ),
+            deflection_rate=statistics.fmean(
+                s.deflection_rate for s in samples
+            ),
+            energy_per_flit=statistics.fmean(
+                s.energy_per_flit for s in samples
+            ),
+            breakdown=_mean_breakdown([s.breakdown for s in samples]),
+            backpressured_fraction=statistics.fmean(
+                s.backpressured_fraction for s in samples
+            ),
+            gossip_switches=statistics.fmean(
+                s.gossip_switches for s in samples
+            ),
             group_latency={
                 name: statistics.fmean(vals)
                 for name, vals in group_sums.items()

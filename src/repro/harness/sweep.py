@@ -30,7 +30,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from ..network.config import Design, NetworkConfig
 from ..traffic.workloads import WorkloadProfile
-from .experiment import ExperimentRunner
+from .experiment import ExperimentRunner, map_jobs
 from .reporting import format_table
 
 
@@ -98,13 +98,43 @@ class SweepGrid:
         return [("default", NetworkConfig())]
 
 
+def _run_closed_loop_cell(args) -> List[object]:
+    """One (config, design, workload) sweep cell (module-level so it
+    pickles); seeds inside the cell run serially in this worker."""
+    config_name, config, design, workload, warmup, measure, seeds = args
+    runner = ExperimentRunner(
+        config=config,
+        warmup_cycles=warmup,
+        measure_cycles=measure,
+        seeds=seeds,
+    )
+    result = runner.run_closed_loop(design, workload)
+    return [
+        config_name,
+        design.value,
+        workload.name,
+        result.performance,
+        result.performance_std,
+        result.energy_per_txn,
+        result.injection_rate,
+        result.avg_miss_latency,
+        result.backpressured_fraction,
+    ]
+
+
 def run_closed_loop_sweep(
     grid: SweepGrid,
     warmup_cycles: int = 2_000,
     measure_cycles: int = 6_000,
     seeds: int = 1,
+    jobs: int = 1,
 ) -> SweepTable:
-    """Closed-loop sweep over configs × designs × workloads."""
+    """Closed-loop sweep over configs × designs × workloads.
+
+    ``jobs > 1`` fans the independent grid cells out across worker
+    processes; rows come back in grid order and every cell derives its
+    own seeds, so the table is identical at any job count.
+    """
     if not grid.workloads:
         raise ValueError("closed-loop sweep needs workloads")
     table = SweepTable(
@@ -120,30 +150,42 @@ def run_closed_loop_sweep(
             "bp_fraction",
         ]
     )
-    for config_name, config in grid.config_items():
-        runner = ExperimentRunner(
-            config=config,
-            warmup_cycles=warmup_cycles,
-            measure_cycles=measure_cycles,
-            seeds=seeds,
-        )
-        for design in grid.designs:
-            for workload in grid.workloads:
-                result = runner.run_closed_loop(design, workload)
-                table.add(
-                    [
-                        config_name,
-                        design.value,
-                        workload.name,
-                        result.performance,
-                        result.performance_std,
-                        result.energy_per_txn,
-                        result.injection_rate,
-                        result.avg_miss_latency,
-                        result.backpressured_fraction,
-                    ]
-                )
+    cells = [
+        (config_name, config, design, workload,
+         warmup_cycles, measure_cycles, seeds)
+        for config_name, config in grid.config_items()
+        for design in grid.designs
+        for workload in grid.workloads
+    ]
+    for row in map_jobs(_run_closed_loop_cell, cells, jobs):
+        table.add(row)
     return table
+
+
+def _run_open_loop_cell(args) -> List[object]:
+    """One (config, design, rate) sweep cell (module-level so it
+    pickles)."""
+    (config_name, config, design, rate,
+     warmup, measure, seeds, source_queue_limit) = args
+    runner = ExperimentRunner(
+        config=config,
+        warmup_cycles=warmup,
+        measure_cycles=measure,
+        seeds=seeds,
+    )
+    result = runner.run_open_loop(
+        design, rate, source_queue_limit=source_queue_limit
+    )
+    return [
+        config_name,
+        design.value,
+        rate,
+        result.throughput,
+        result.avg_network_latency,
+        result.deflection_rate,
+        result.energy_per_flit,
+        result.backpressured_fraction,
+    ]
 
 
 def run_open_loop_sweep(
@@ -152,8 +194,14 @@ def run_open_loop_sweep(
     measure_cycles: int = 4_000,
     seeds: int = 1,
     source_queue_limit: Optional[int] = 500,
+    jobs: int = 1,
 ) -> SweepTable:
-    """Open-loop sweep over configs × designs × rates."""
+    """Open-loop sweep over configs × designs × rates.
+
+    ``jobs > 1`` fans the independent grid cells out across worker
+    processes; rows come back in grid order and every cell derives its
+    own seeds, so the table is identical at any job count.
+    """
     if not grid.rates:
         raise ValueError("open-loop sweep needs rates")
     table = SweepTable(
@@ -168,28 +216,13 @@ def run_open_loop_sweep(
             "bp_fraction",
         ]
     )
-    for config_name, config in grid.config_items():
-        runner = ExperimentRunner(
-            config=config,
-            warmup_cycles=warmup_cycles,
-            measure_cycles=measure_cycles,
-            seeds=seeds,
-        )
-        for design in grid.designs:
-            for rate in grid.rates:
-                result = runner.run_open_loop(
-                    design, rate, source_queue_limit=source_queue_limit
-                )
-                table.add(
-                    [
-                        config_name,
-                        design.value,
-                        rate,
-                        result.throughput,
-                        result.avg_network_latency,
-                        result.deflection_rate,
-                        result.energy_per_flit,
-                        result.backpressured_fraction,
-                    ]
-                )
+    cells = [
+        (config_name, config, design, rate,
+         warmup_cycles, measure_cycles, seeds, source_queue_limit)
+        for config_name, config in grid.config_items()
+        for design in grid.designs
+        for rate in grid.rates
+    ]
+    for row in map_jobs(_run_open_loop_cell, cells, jobs):
+        table.add(row)
     return table

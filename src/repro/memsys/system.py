@@ -110,6 +110,7 @@ class MemorySystem:
         for _ in range(cycles):
             self.tick()
             self.network.step()
+        self.network.sync_bookkeeping()
 
     # -- transaction flow -------------------------------------------------------------
     def _issue(self, core: Core, txn: Transaction, cycle: int) -> None:

@@ -43,6 +43,11 @@ class VirtualNetwork(IntEnum):
 #: Number of virtual networks; buffer layouts are indexed by vnet.
 NUM_VNETS = len(VirtualNetwork)
 
+#: The virtual networks in index order, materialized once — building
+#: ``list(VirtualNetwork)`` is surprisingly costly on injection paths
+#: that run every cycle.
+VNETS = tuple(VirtualNetwork)
+
 _packet_ids = itertools.count()
 
 

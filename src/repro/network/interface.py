@@ -32,6 +32,9 @@ class NetworkInterface:
         self.on_packet = on_packet
         #: Optional observer of every offered packet (traffic tracing).
         self.on_offer: Optional[Callable[[Packet], None]] = None
+        #: Notifies the active-set cycle engine that this node gained
+        #: injectable work (set by the engine; None under the naive loop).
+        self.on_activity: Optional[Callable[[], None]] = None
         self._queues: Dict[VirtualNetwork, Deque[Flit]] = {
             vnet: deque() for vnet in VirtualNetwork
         }
@@ -57,6 +60,8 @@ class NetworkInterface:
         queue = self._queues[packet.vnet]
         for flit in packet.flits():
             queue.append(flit)
+        if self.on_activity is not None:
+            self.on_activity()
 
     def peek(self, vnet: VirtualNetwork) -> Optional[Flit]:
         """Next flit awaiting injection on ``vnet`` (without removing)."""
@@ -90,6 +95,8 @@ class NetworkInterface:
         self.flits_offered_total += packet.num_flits
         for flit in packet.flits():
             queue.append(flit)
+        if self.on_activity is not None:
+            self.on_activity()
         return purged
 
     def pending_vnets(self) -> List[VirtualNetwork]:

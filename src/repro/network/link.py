@@ -22,7 +22,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 from enum import Enum
-from typing import Deque, Generic, List, Optional, Tuple, TypeVar
+from typing import Callable, Deque, Generic, List, Optional, Tuple, TypeVar
 
 from .flit import Flit, VirtualNetwork
 from .topology import Direction
@@ -146,12 +146,19 @@ class Channel:
         self._backflow: DelayLine[Backflow] = DelayLine(latency=link_latency)
         #: Running count of flit traversals (used by energy accounting).
         self.flit_traversals = 0
+        #: Optional wake hooks installed by the active-set cycle engine
+        #: while the receiving router is asleep.  Called with the cycle
+        #: the pushed item becomes deliverable.
+        self.wake_flit: Optional[Callable[[int], None]] = None
+        self.wake_backflow: Optional[Callable[[int], None]] = None
 
     # -- forward (flit) direction -----------------------------------------
     def send_flit(self, flit: Flit, cycle: int) -> None:
         flit.hops += 1
         self.flit_traversals += 1
         self._flits.push(flit, cycle)
+        if self.wake_flit is not None:
+            self.wake_flit(cycle + self._flits.latency)
 
     def deliver_flits(self, cycle: int) -> List[Flit]:
         return self._flits.pop_ready(cycle)
@@ -163,12 +170,20 @@ class Channel:
     # -- backflow direction -------------------------------------------------
     def send_credit(self, credit: CreditMessage, cycle: int) -> None:
         self._backflow.push(("credit", credit), cycle)
+        if self.wake_backflow is not None:
+            self.wake_backflow(cycle + self._backflow.latency)
 
     def send_mode_notice(self, notice: ModeNotification, cycle: int) -> None:
         self._backflow.push(("mode", notice), cycle)
+        if self.wake_backflow is not None:
+            self.wake_backflow(cycle + self._backflow.latency)
 
     def deliver_backflow(self, cycle: int) -> List[Backflow]:
         return self._backflow.pop_ready(cycle)
+
+    @property
+    def backflow_in_flight(self) -> int:
+        return self._backflow.in_flight
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

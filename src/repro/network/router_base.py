@@ -20,12 +20,13 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from .config import Design, NetworkConfig
 from .energy_hooks import EnergyMeter, NullEnergyMeter
 from .flit import Flit
 from .link import Channel, CreditMessage, ModeNotification
+from .routing import routing_tables
 from .stats import StatsCollector
 from .topology import Direction, Mesh
 
@@ -60,6 +61,13 @@ class BaseRouter(ABC):
         self.out_channels: Dict[Direction, Channel] = {}
         self.ni: Optional["NetworkInterface"] = None
         self.router_class = mesh.router_class(node)
+        #: Hot-path lookups, populated by :meth:`_cache_tables` once the
+        #: channels are wired (``None`` until then).
+        self._net_ports: Optional[List[Direction]] = None
+        self._xy_row: Tuple[Direction, ...] = ()
+        self._prod_row: Tuple[Tuple[Direction, ...], ...] = ()
+        self._in_list: Optional[Tuple[Tuple[Direction, Channel], ...]] = None
+        self._out_list: Optional[Tuple[Tuple[Direction, Channel], ...]] = None
 
     # -- wiring -------------------------------------------------------------
     def attach_input(self, direction: Direction, channel: Channel) -> None:
@@ -77,22 +85,51 @@ class BaseRouter(ABC):
 
     @property
     def network_ports(self) -> List[Direction]:
+        if self._net_ports is not None:
+            return self._net_ports
         return list(self.out_channels.keys())
+
+    def _cache_tables(self) -> None:
+        """Freeze the wired port list and grab this node's routing-table
+        rows so per-flit routing is a plain tuple index."""
+        self._net_ports = list(self.out_channels.keys())
+        self._in_list = tuple(self.in_channels.items())
+        self._out_list = tuple(self.out_channels.items())
+        tables = routing_tables(self.mesh)
+        self._xy_row = tables.xy[self.node]
+        self._prod_row = tables.productive[self.node]
 
     # -- per-cycle protocol ---------------------------------------------------
     def deliver(self, cycle: int) -> None:
-        """Pull arrivals and backflow out of the channels."""
-        for direction, channel in self.in_channels.items():
-            for flit in channel.deliver_flits(cycle):
-                self._accept_flit(flit, direction, cycle)
-        for direction, channel in self.out_channels.items():
-            for kind, message in channel.deliver_backflow(cycle):
-                if kind == "credit":
-                    assert isinstance(message, CreditMessage)
-                    self._accept_credit(direction, message, cycle)
-                else:
-                    assert isinstance(message, ModeNotification)
-                    self._accept_mode_notice(direction, message, cycle)
+        """Pull arrivals and backflow out of the channels.
+
+        Empty pipes (the common case at low load) are skipped without a
+        call; the emptiness peek reaches into the delay lines directly
+        because this runs once per channel per cycle.
+        """
+        in_list = (
+            self._in_list
+            if self._in_list is not None
+            else tuple(self.in_channels.items())
+        )
+        out_list = (
+            self._out_list
+            if self._out_list is not None
+            else tuple(self.out_channels.items())
+        )
+        for direction, channel in in_list:
+            if channel._flits._items:
+                for flit in channel.deliver_flits(cycle):
+                    self._accept_flit(flit, direction, cycle)
+        for direction, channel in out_list:
+            if channel._backflow._items:
+                for kind, message in channel.deliver_backflow(cycle):
+                    if kind == "credit":
+                        assert isinstance(message, CreditMessage)
+                        self._accept_credit(direction, message, cycle)
+                    else:
+                        assert isinstance(message, ModeNotification)
+                        self._accept_mode_notice(direction, message, cycle)
 
     @abstractmethod
     def step(self, cycle: int) -> None:
@@ -118,6 +155,33 @@ class BaseRouter(ABC):
 
         Only meaningful in AFC networks; others ignore it.
         """
+
+    # -- activity reporting (active-set cycle engine) ----------------------------
+    def is_quiescent(self) -> bool:
+        """True when stepping this router would be a pure no-op apart
+        from per-cycle bookkeeping that :meth:`catch_up` can replay.
+
+        The engine additionally requires every attached channel pipe to
+        be empty before putting a router to sleep; subclasses with extra
+        per-cycle state (e.g. AFC's mode controller) must override.
+        """
+        return self.resident_flits() == 0 and (
+            self.ni is None or not self.ni.has_pending
+        )
+
+    def catch_up(self, cycles: int) -> None:
+        """Replay ``cycles`` skipped idle cycles of bookkeeping.
+
+        Default routers carry no per-cycle idle state, so this is a
+        no-op; AFC routers replay their EWMA decay and mode-residency
+        counters here.
+        """
+
+    def self_wake_in(self) -> Optional[int]:
+        """Idle cycles after which this router will act spontaneously
+        (e.g. an adaptive AFC router's EWMA decaying below the reverse
+        threshold), or ``None`` when idling forever is a no-op."""
+        return None
 
     # -- shared helpers ----------------------------------------------------------
     def _eject(self, flit: Flit, cycle: int) -> None:

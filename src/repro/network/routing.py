@@ -11,16 +11,14 @@ to LAR inside the 2-stage pipeline of Table I.
 
 from __future__ import annotations
 
-from typing import List
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import List, Tuple
 
 from .topology import Direction, Mesh
 
 
-def xy_route(mesh: Mesh, current: int, dst: int) -> Direction:
-    """Dimension-ordered (X then Y) output port at ``current`` toward ``dst``.
-
-    Returns ``Direction.LOCAL`` when the flit has arrived.
-    """
+def _xy_route_computed(mesh: Mesh, current: int, dst: int) -> Direction:
     cx, cy = mesh.coords(current)
     dx, dy = mesh.coords(dst)
     if cx < dx:
@@ -34,15 +32,9 @@ def xy_route(mesh: Mesh, current: int, dst: int) -> Direction:
     return Direction.LOCAL
 
 
-def productive_ports(mesh: Mesh, current: int, dst: int) -> List[Direction]:
-    """All ports that reduce the distance to ``dst`` (0, 1 or 2 ports).
-
-    Deflection routers may use any of these, not only the DOR one,
-    because they are not bound by DOR's deadlock-avoidance discipline
-    (deflection avoids deadlock by construction).  The DOR port, when it
-    exists, is listed first so that allocators preferring earlier entries
-    behave like XY routing under no contention.
-    """
+def _productive_ports_computed(
+    mesh: Mesh, current: int, dst: int
+) -> Tuple[Direction, ...]:
     cx, cy = mesh.coords(current)
     dx, dy = mesh.coords(dst)
     ports: List[Direction] = []
@@ -54,7 +46,68 @@ def productive_ports(mesh: Mesh, current: int, dst: int) -> List[Direction]:
         ports.append(Direction.SOUTH)
     elif cy > dy:
         ports.append(Direction.NORTH)
-    return ports
+    return tuple(ports)
+
+
+@dataclass(frozen=True)
+class RoutingTables:
+    """Precomputed per-node routing rows for one mesh.
+
+    ``xy[current][dst]`` is the dimension-ordered output port and
+    ``productive[current][dst]`` the tuple of distance-reducing ports
+    (DOR port first).  Routers grab their own row once at finalize time
+    so the per-flit hot path is a plain list index — no coordinate math,
+    no dict lookups, no list building.
+    """
+
+    xy: Tuple[Tuple[Direction, ...], ...]
+    productive: Tuple[Tuple[Tuple[Direction, ...], ...], ...]
+
+
+@lru_cache(maxsize=64)
+def routing_tables(mesh: Mesh) -> RoutingTables:
+    """The (cached) routing tables for ``mesh``."""
+    nodes = range(mesh.num_nodes)
+    return RoutingTables(
+        xy=tuple(
+            tuple(_xy_route_computed(mesh, cur, dst) for dst in nodes)
+            for cur in nodes
+        ),
+        productive=tuple(
+            tuple(_productive_ports_computed(mesh, cur, dst) for dst in nodes)
+            for cur in nodes
+        ),
+    )
+
+
+def xy_route(mesh: Mesh, current: int, dst: int) -> Direction:
+    """Dimension-ordered (X then Y) output port at ``current`` toward ``dst``.
+
+    Returns ``Direction.LOCAL`` when the flit has arrived.
+    """
+    if not 0 <= current < mesh.num_nodes or not 0 <= dst < mesh.num_nodes:
+        raise ValueError(
+            f"node outside mesh of {mesh.num_nodes} nodes: "
+            f"current={current}, dst={dst}"
+        )
+    return routing_tables(mesh).xy[current][dst]
+
+
+def productive_ports(mesh: Mesh, current: int, dst: int) -> List[Direction]:
+    """All ports that reduce the distance to ``dst`` (0, 1 or 2 ports).
+
+    Deflection routers may use any of these, not only the DOR one,
+    because they are not bound by DOR's deadlock-avoidance discipline
+    (deflection avoids deadlock by construction).  The DOR port, when it
+    exists, is listed first so that allocators preferring earlier entries
+    behave like XY routing under no contention.
+    """
+    if not 0 <= current < mesh.num_nodes or not 0 <= dst < mesh.num_nodes:
+        raise ValueError(
+            f"node outside mesh of {mesh.num_nodes} nodes: "
+            f"current={current}, dst={dst}"
+        )
+    return list(routing_tables(mesh).productive[current][dst])
 
 
 def is_productive(mesh: Mesh, current: int, dst: int, port: Direction) -> bool:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import IntEnum
+from functools import lru_cache
 from typing import Dict, List, Tuple
 
 
@@ -119,7 +120,7 @@ class Mesh:
 
     def network_ports(self, node: int) -> List[Direction]:
         """The network directions that exist at ``node`` (2, 3 or 4)."""
-        return [d for d in NETWORK_DIRECTIONS if self.has_neighbor(node, d)]
+        return list(network_port_table(self)[node])
 
     def links(self) -> List[Tuple[int, Direction, int]]:
         """All unidirectional links as ``(src_node, direction, dst_node)``."""
@@ -161,6 +162,17 @@ class Mesh:
         if not 0 <= quadrant <= 3:
             raise ValueError(f"quadrant must be 0..3, got {quadrant}")
         return [n for n in range(self.num_nodes) if self.quadrant(n) == quadrant]
+
+
+@lru_cache(maxsize=64)
+def network_port_table(mesh: Mesh) -> Tuple[Tuple[Direction, ...], ...]:
+    """Cached per-node tuple of existing network directions."""
+    return tuple(
+        tuple(
+            d for d in NETWORK_DIRECTIONS if mesh.has_neighbor(node, d)
+        )
+        for node in range(mesh.num_nodes)
+    )
 
 
 def direction_maps(mesh: Mesh) -> Dict[int, Dict[Direction, int]]:

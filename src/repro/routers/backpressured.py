@@ -34,10 +34,9 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..network.config import Design, NetworkConfig
 from ..network.energy_hooks import EnergyMeter
-from ..network.flit import Flit, VirtualNetwork
+from ..network.flit import Flit, VirtualNetwork, VNETS
 from ..network.link import CreditMessage
 from ..network.router_base import BaseRouter
-from ..network.routing import xy_route
 from ..network.stats import StatsCollector
 from ..network.topology import Direction, Mesh
 
@@ -162,6 +161,9 @@ class BackpressuredRouter(BaseRouter):
         self._inject_rr = 0
         self._eject_rr = 0
         self._finalized = False
+        #: Running buffered-flit count (occupancy is polled every cycle
+        #: by the activity scheduler and invariant checks).
+        self._buffered = 0
         #: Realistic buffer bypass (Wang et al. [1]): a flit that
         #: arrives at an empty VC and leaves in the same cycle skips
         #: both the buffer write and read energies.  Timing is
@@ -181,6 +183,7 @@ class BackpressuredRouter(BaseRouter):
             self._out_state[direction] = _OutputPortState(
                 self._vcs, self._depth
             )
+        self._cache_tables()
         self._finalized = True
 
     # -- receive paths -------------------------------------------------------
@@ -210,6 +213,7 @@ class BackpressuredRouter(BaseRouter):
             )
         was_empty = not vc.queue
         vc.queue.append(flit)
+        self._buffered += 1
         if self._realistic_bypass and was_empty:
             self._bypass_pending.add(flit)
         else:
@@ -230,6 +234,10 @@ class BackpressuredRouter(BaseRouter):
     # -- per-cycle operation -------------------------------------------------
     def step(self, cycle: int) -> None:
         self.finalize()
+        if self._buffered == 0 and (
+            self.ni is None or not self.ni.has_pending
+        ):
+            return  # idle: nothing to inject, route, or arbitrate
         self._inject(cycle)
         self._route_and_allocate_vcs()
         self._switch_allocation(cycle)
@@ -246,7 +254,7 @@ class BackpressuredRouter(BaseRouter):
         if self.ni is None or not self.ni.has_pending:
             return
         local = self._input_ports[Direction.LOCAL]
-        vnets = list(VirtualNetwork)
+        vnets = VNETS
         for offset in range(len(vnets)):
             vnet = vnets[(self._inject_rr + offset) % len(vnets)]
             flit = self.ni.peek(vnet)
@@ -267,6 +275,7 @@ class BackpressuredRouter(BaseRouter):
                 vc.owner_pid = flit.pid
             was_empty = not vc.queue
             vc.queue.append(flit)
+            self._buffered += 1
             if self._realistic_bypass and was_empty:
                 self._bypass_pending.add(flit)
             else:
@@ -292,7 +301,7 @@ class BackpressuredRouter(BaseRouter):
                 head = vc.queue[0]
                 if vc.out_port is None:
                     assert head.is_head, "body flit reached an unrouted VC"
-                    vc.out_port = xy_route(self.mesh, self.node, head.dst)
+                    vc.out_port = self._xy_row[head.dst]
                 if vc.out_port is Direction.LOCAL or vc.out_vc is not None:
                     continue
                 allocated = self._out_state[vc.out_port].allocate_vc(head.vnet)
@@ -366,6 +375,7 @@ class BackpressuredRouter(BaseRouter):
     ) -> None:
         vc = self._input_ports[in_dir].vcs[vc_idx]
         flit = vc.queue.popleft()
+        self._buffered -= 1
         if flit in self._bypass_pending:
             self._bypass_pending.discard(flit)  # cut-through: no write/read
         else:
@@ -395,7 +405,7 @@ class BackpressuredRouter(BaseRouter):
 
     # -- introspection --------------------------------------------------------
     def buffered_flits(self) -> int:
-        return sum(port.occupancy() for port in self._input_ports.values())
+        return self._buffered
 
     def vc_occupancies(self) -> Dict[Direction, List[int]]:
         """Per-port, per-VC queue depths (debug/inspection helper)."""

@@ -27,13 +27,13 @@ cycle.
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..network.config import Design, NetworkConfig
 from ..network.energy_hooks import EnergyMeter
-from ..network.flit import Flit, VirtualNetwork
+from ..network.flit import Flit, VirtualNetwork, VNETS
 from ..network.router_base import BaseRouter
-from ..network.routing import productive_ports
+from ..network.routing import routing_tables
 from ..network.stats import StatsCollector
 from ..network.topology import Direction, Mesh
 
@@ -54,6 +54,7 @@ def allocate_deflection_ports(
     ports: List[Direction],
     port_allowed: Callable[[Flit, Direction], bool],
     sort_key: Optional[Callable[[Flit], object]] = None,
+    prod_row: Optional[Sequence[Tuple[Direction, ...]]] = None,
 ) -> Tuple[Dict[Direction, Flit], List[Flit]]:
     """Deflection port allocation.
 
@@ -70,16 +71,22 @@ def allocate_deflection_ports(
     ``len(flits) <= len(ports)``, the unplaced list is provably empty —
     masking ports (AFC's credit tracking toward backpressured
     neighbours) is the only way a flit can be left over.
+
+    ``prod_row``, when given, is this node's precomputed
+    productive-ports row (``routing_tables(mesh).productive[node]``);
+    passing it skips the per-flit table lookup on the hot path.
     """
     order = list(flits)
     if sort_key is None:
         rng.shuffle(order)
     else:
         order.sort(key=sort_key)
+    if prod_row is None:
+        prod_row = routing_tables(mesh).productive[node]
     assignment: Dict[Direction, Flit] = {}
     unplaced: List[Flit] = []
     for flit in order:
-        preferred = productive_ports(mesh, node, flit.dst)
+        preferred = prod_row[flit.dst]
         chosen: Optional[Direction] = None
         for port in preferred:
             if (
@@ -132,7 +139,7 @@ class BackpressurelessRouter(BaseRouter):
         self._inject_rr = 0
 
     def finalize(self) -> None:
-        """No per-port structures to build (kept for interface parity)."""
+        self._cache_tables()
 
     # -- receive path -------------------------------------------------------
     def _accept_flit(self, flit: Flit, in_port: Direction, cycle: int) -> None:
@@ -141,12 +148,16 @@ class BackpressurelessRouter(BaseRouter):
 
     # -- per-cycle operation ----------------------------------------------------
     def step(self, cycle: int) -> None:
+        if self._net_ports is None:
+            self._cache_tables()
+        if not self._latched and (self.ni is None or not self.ni.has_pending):
+            return  # idle: the full path below would do exactly nothing
         resident = self._latched
         self._latched = []
-        if len(resident) > len(self.network_ports):
+        if len(resident) > len(self._net_ports):
             raise RuntimeError(
                 f"deflection invariant violated at node {self.node}: "
-                f"{len(resident)} flits, {len(self.network_ports)} ports"
+                f"{len(resident)} flits, {len(self._net_ports)} ports"
             )
         remaining = self._eject_arrivals(resident, cycle)
         assignment, unplaced = allocate_deflection_ports(
@@ -154,9 +165,10 @@ class BackpressurelessRouter(BaseRouter):
             self.node,
             self.rng,
             remaining,
-            self.network_ports,
+            self._net_ports,
             port_allowed=lambda _flit, _port: True,
             sort_key=self._sort_key,
+            prod_row=self._prod_row,
         )
         if unplaced:
             raise RuntimeError(
@@ -198,14 +210,14 @@ class BackpressurelessRouter(BaseRouter):
         free = [p for p in self.network_ports if p not in assignment]
         if not free:
             return
-        vnets = list(VirtualNetwork)
+        vnets = VNETS
         for offset in range(len(vnets)):
             vnet = vnets[(self._inject_rr + offset) % len(vnets)]
             if self.ni.peek(vnet) is None:
                 continue
             flit = self.ni.pop(vnet, cycle)
             chosen: Optional[Direction] = None
-            for port in productive_ports(self.mesh, self.node, flit.dst):
+            for port in self._prod_row[flit.dst]:
                 if port in free:
                     chosen = port
                     break

@@ -35,9 +35,8 @@ from typing import Dict, List, Optional
 
 from ..network.config import Design, NetworkConfig
 from ..network.energy_hooks import EnergyMeter
-from ..network.flit import Flit, VirtualNetwork
+from ..network.flit import Flit, VirtualNetwork, VNETS
 from ..network.router_base import BaseRouter
-from ..network.routing import productive_ports
 from ..network.stats import StatsCollector
 from ..network.topology import Direction, Mesh
 
@@ -67,7 +66,7 @@ class DroppingRouter(BaseRouter):
         self.drop_notify = None
 
     def finalize(self) -> None:
-        """No per-port structures to build (interface parity)."""
+        self._cache_tables()
 
     # -- receive path -------------------------------------------------------
     def _accept_flit(self, flit: Flit, in_port: Direction, cycle: int) -> None:
@@ -76,6 +75,10 @@ class DroppingRouter(BaseRouter):
 
     # -- per-cycle operation ----------------------------------------------------
     def step(self, cycle: int) -> None:
+        if self._net_ports is None:
+            self._cache_tables()
+        if not self._latched and (self.ni is None or not self.ni.has_pending):
+            return  # idle: the full path below would do exactly nothing
         resident = self._latched
         self._latched = []
         remaining = self._eject_or_drop(resident, cycle)
@@ -97,7 +100,7 @@ class DroppingRouter(BaseRouter):
         order = escalated + normal
         for flit in order:
             chosen: Optional[Direction] = None
-            for port in productive_ports(self.mesh, self.node, flit.dst):
+            for port in self._prod_row[flit.dst]:
                 if port in self.out_channels and port not in assignment:
                     chosen = port
                     break
@@ -154,14 +157,14 @@ class DroppingRouter(BaseRouter):
         """Inject one flit if a productive port is still free."""
         if self.ni is None or not self.ni.has_pending:
             return
-        vnets = list(VirtualNetwork)
+        vnets = VNETS
         for offset in range(len(vnets)):
             vnet = vnets[(self._inject_rr + offset) % len(vnets)]
             flit = self.ni.peek(vnet)
             if flit is None:
                 continue
             chosen: Optional[Direction] = None
-            for port in productive_ports(self.mesh, self.node, flit.dst):
+            for port in self._prod_row[flit.dst]:
                 if port in self.out_channels and port not in assignment:
                     chosen = port
                     break

@@ -5,6 +5,17 @@ channels, and drives the two-phase per-cycle protocol (deliver, then
 step).  Routers interact exclusively through channel delay lines, so the
 iteration order over routers is immaterial.
 
+Two cycle engines drive that protocol (see docs/PERFORMANCE.md):
+
+* ``engine="naive"`` — the reference loop: every router delivers and
+  steps every cycle.
+* ``engine="active"`` (default) — the active-set engine: quiescent
+  routers (no resident flits, no pending source-queue work, empty
+  attached channel pipes, no pending mode transition) are put to sleep
+  and skipped; their per-cycle bookkeeping (EWMA decay, mode residency)
+  is replayed in a batch on wake.  Results are bit-identical to the
+  naive loop — the determinism test suite enforces this per design.
+
 Typical use::
 
     from repro import Design, NetworkConfig, Network
@@ -28,6 +39,7 @@ from .energy.model import (
     EnergyBreakdown,
     EnergyParameters,
     OrionEnergyMeter,
+    StaticEnergyCache,
 )
 from .network.config import Design, NetworkConfig
 from .network.energy_hooks import EnergyMeter, NullEnergyMeter
@@ -80,7 +92,11 @@ class Network:
         with_energy: bool = True,
         energy_params: EnergyParameters = DEFAULT_ENERGY_PARAMETERS,
         on_packet: Optional[Callable[[int, CompletedPacket], None]] = None,
+        engine: str = "active",
     ) -> None:
+        if engine not in ("active", "naive"):
+            raise ValueError(f"unknown cycle engine {engine!r}")
+        self.engine = engine
         self.config = config
         self.design = design
         self.mesh = config.mesh
@@ -134,6 +150,36 @@ class Network:
         for router in self.routers:
             router.finalize()  # type: ignore[attr-defined]
 
+        # -- active-set engine state (see _step_fast) -----------------------
+        n = self.mesh.num_nodes
+        self._num_nodes = n
+        #: True for routers currently skipped by the cycle loop.  Every
+        #: router starts awake so client code may poke state before the
+        #: engine has ever observed the router quiescent.
+        self._asleep: List[bool] = [False] * n
+        #: Last cycle whose bookkeeping has been applied (only
+        #: meaningful while the router is asleep).
+        self._slept_through: List[int] = [0] * n
+        #: Pending wake events as a (cycle, node) min-heap.  Spurious
+        #: entries are harmless: waking a still-quiescent router makes
+        #: it run ordinary idle steps, which evolve its state exactly as
+        #: batched catch-up would.
+        self._wake_heap: List[Tuple[int, int]] = []
+        self._todo: List[int] = []
+        self._stepped: List[int] = []
+        self._in_step_phase = False
+        self._current_node = -1
+        self._static_cache: Optional[StaticEnergyCache] = None
+        if self.engine == "active":
+            if isinstance(self.energy, OrionEnergyMeter):
+                self._static_cache = StaticEnergyCache(
+                    self.energy, self.routers
+                )
+            for node, ni in enumerate(self.interfaces):
+                ni.on_activity = (
+                    lambda _node=node: self._notify_activity(_node)
+                )
+
     # -- client access ------------------------------------------------------
     def interface(self, node: int) -> NetworkInterface:
         return self.interfaces[node]
@@ -180,6 +226,13 @@ class Network:
     # -- cycle loop -----------------------------------------------------------
     def step(self) -> None:
         """Advance the network by one cycle."""
+        if self.engine == "active":
+            self._step_fast()
+        else:
+            self._step_naive()
+
+    def _step_naive(self) -> None:
+        """Reference loop: every router delivers and steps every cycle."""
         cycle = self.cycle
         self._deliver_retransmits(cycle)
         for router in self.routers:
@@ -190,9 +243,139 @@ class Network:
         self.stats.tick()
         self.cycle += 1
 
+    def _step_fast(self) -> None:
+        """Active-set loop: deliver/step only the awake routers.
+
+        The awake set is maintained so that a sleeping router's deliver
+        and step would both be no-ops apart from bookkeeping replayed by
+        ``catch_up`` — see docs/PERFORMANCE.md for the invariants.
+        """
+        cycle = self.cycle
+        asleep = self._asleep
+        routers = self.routers
+        heap = self._wake_heap
+        while heap and heap[0][0] <= cycle:
+            node = heapq.heappop(heap)[1]
+            if asleep[node]:
+                self._wake(node, cycle)
+        if self._retransmit_heap:
+            self._deliver_retransmits(cycle)  # wakes sources via NI hook
+        active = [n for n in range(self._num_nodes) if not asleep[n]]
+        for n in active:
+            routers[n].deliver(cycle)
+        # The sorted awake list doubles as a valid min-heap, so routers
+        # woken mid-phase (an NI offer from a packet completing at a
+        # node the loop has not reached yet) can join this cycle in node
+        # order — matching the naive loop's iteration exactly.
+        todo = self._todo
+        todo.clear()
+        todo.extend(active)
+        stepped = self._stepped
+        stepped.clear()
+        self._in_step_phase = True
+        while todo:
+            n = heapq.heappop(todo)
+            self._current_node = n
+            routers[n].step(cycle)
+            stepped.append(n)
+        self._in_step_phase = False
+        self._current_node = -1
+        cache = self._static_cache
+        if cache is not None:
+            cache.tick(stepped)
+        else:
+            self.energy.static_cycle(routers)
+        self.stats.tick()
+        for n in stepped:
+            if not asleep[n]:
+                router = routers[n]
+                if router.is_quiescent() and self._pipes_empty(router):
+                    self._sleep(n, cycle)
+        self.cycle += 1
+
+    # -- active-set maintenance ------------------------------------------------
+    @staticmethod
+    def _pipes_empty(router: BaseRouter) -> bool:
+        """No flit is in flight toward the router and no backflow
+        (credit / mode notice) is in flight toward it either."""
+        for channel in router.in_channels.values():
+            if channel.flits_in_flight:
+                return False
+        for channel in router.out_channels.values():
+            if channel.backflow_in_flight:
+                return False
+        return True
+
+    def _sleep(self, node: int, cycle: int) -> None:
+        """Demote a quiescent router after its step at ``cycle``."""
+        self._asleep[node] = True
+        self._slept_through[node] = cycle
+        router = self.routers[node]
+        hook = lambda ready, _node=node: self._schedule_wake(_node, ready)
+        for channel in router.in_channels.values():
+            channel.wake_flit = hook
+        for channel in router.out_channels.values():
+            channel.wake_backflow = hook
+        wake_in = router.self_wake_in()
+        if wake_in is not None:
+            heapq.heappush(self._wake_heap, (cycle + wake_in, node))
+
+    def _wake(self, node: int, wake_cycle: int) -> None:
+        """Promote a router so it participates in ``wake_cycle``,
+        replaying the bookkeeping of the cycles it slept through."""
+        self._asleep[node] = False
+        router = self.routers[node]
+        for channel in router.in_channels.values():
+            channel.wake_flit = None
+        for channel in router.out_channels.values():
+            channel.wake_backflow = None
+        router.catch_up(wake_cycle - 1 - self._slept_through[node])
+
+    def _schedule_wake(self, node: int, at_cycle: int) -> None:
+        """Channel hook: something is in flight toward a sleeping
+        router, deliverable at ``at_cycle`` (always a future cycle —
+        every pipe has latency >= 1)."""
+        if self._asleep[node]:
+            heapq.heappush(self._wake_heap, (at_cycle, node))
+
+    def _notify_activity(self, node: int) -> None:
+        """NI hook: ``node``'s source queue just gained flits."""
+        if not self._asleep[node]:
+            return
+        cycle = self.cycle
+        if self._in_step_phase and node <= self._current_node:
+            # The step loop already passed this node, exactly as the
+            # naive loop would have stepped it before the offer landed:
+            # it missed this cycle, so replay its bookkeeping through
+            # ``cycle`` and let it participate from the next cycle.
+            self._wake(node, cycle + 1)
+        else:
+            # Still reachable this cycle.  Skipping its deliver was
+            # exact — a sleeping router's pipes are empty.
+            self._wake(node, cycle)
+            if self._in_step_phase:
+                heapq.heappush(self._todo, node)
+
+    def sync_bookkeeping(self) -> None:
+        """Apply deferred bookkeeping of sleeping routers through the
+        last completed cycle (they stay asleep).
+
+        Call before reading lazily-maintained per-router state (EWMA
+        load estimates, mode-residency counters) mid-run; ``run``,
+        ``drain`` and ``begin_measurement`` call it themselves.
+        """
+        if self.engine != "active":
+            return
+        upto = self.cycle - 1
+        for node, sleeping in enumerate(self._asleep):
+            if sleeping and self._slept_through[node] < upto:
+                self.routers[node].catch_up(upto - self._slept_through[node])
+                self._slept_through[node] = upto
+
     def run(self, cycles: int) -> None:
         for _ in range(cycles):
             self.step()
+        self.sync_bookkeeping()
 
     def drain(self, max_cycles: int = 100_000) -> int:
         """Run until every offered flit has been delivered.
@@ -209,11 +392,15 @@ class Network:
                     f"{self.flits_unaccounted} flits outstanding"
                 )
             self.step()
+        self.sync_bookkeeping()
         return self.cycle - start
 
     # -- measurement windows -------------------------------------------------------
     def begin_measurement(self) -> None:
         """End warmup: zero the statistics and energy windows."""
+        # Deferred residency/EWMA bookkeeping must land on the warmup
+        # side of the reset.
+        self.sync_bookkeeping()
         self.stats.reset_measurement(self.cycle)
         if isinstance(self.energy, OrionEnergyMeter):
             self._energy_base = self.energy.snapshot()

@@ -143,6 +143,7 @@ class OpenLoopSource:
         for _ in range(cycles):
             self.tick()
             self.network.step()
+        self.network.sync_bookkeeping()
 
 
 def uniform_random_traffic(
