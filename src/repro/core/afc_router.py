@@ -93,6 +93,26 @@ class AfcRouter(BaseRouter):
         self._inject_rr = 0
         self._grant_rr: Dict[Direction, int] = {}
         self._finalized = False
+        #: Hot-path views built by :meth:`finalize`: the bound credit
+        #: mask (one allocation, instead of a fresh closure per
+        #: deflection cycle), the frozen input-port items, and the
+        #: persistent switch-allocation request lists (first-request
+        #: insertion order preserved via ``_bp_order``, exactly like the
+        #: ``setdefault`` dict they replace).
+        self._deflect_mask = self._port_allowed
+        self._iport_items: Tuple[Tuple[Direction, LazyInputPort], ...] = ()
+        self._bp_requests: Dict[Direction, List[Tuple[Direction, Flit]]] = {}
+        self._bp_order: List[Direction] = []
+        #: Per-output-direction views of the neighbours' live ``ok``
+        #: masks (NeighborCreditState.ok), indexed ``[direction][vnet]``.
+        #: The inner lists are the neighbours' own, mutated in place, so
+        #: this table never goes stale.  ``None`` for unwired directions
+        #: and LOCAL (ejection is never credit-masked).
+        self._ok_rows: List[Optional[List[bool]]] = [None] * len(Direction)
+        #: ``(in_dir, port, per-vnet flit lists)`` triples for the
+        #: switch-allocation scan; the flit lists are the ports' own
+        #: ``_by_vnet`` values in VNETS order (stable list objects).
+        self._iport_scan: tuple = ()
 
     # -- wiring -------------------------------------------------------------
     def finalize(self) -> None:
@@ -114,6 +134,15 @@ class AfcRouter(BaseRouter):
         #: the source of truth for keyed lookups.
         self._port_list = tuple(self._input_ports.values())
         self._neighbor_list = tuple(self._neighbors.values())
+        self._iport_items = tuple(self._input_ports.items())
+        self._bp_requests = {direction: [] for direction in self._neighbors}
+        self._bp_requests[Direction.LOCAL] = []
+        for direction, state in self._neighbors.items():
+            self._ok_rows[direction] = state.ok
+        self._iport_scan = tuple(
+            (in_dir, port, tuple(port._by_vnet[vnet] for vnet in VNETS))
+            for in_dir, port in self._input_ports.items()
+        )
         self._finalized = True
 
     @property
@@ -156,7 +185,8 @@ class AfcRouter(BaseRouter):
 
     # -- per-cycle operation -------------------------------------------------
     def step(self, cycle: int) -> None:
-        self.finalize()
+        if not self._finalized:
+            self.finalize()
         self._mode.maybe_complete_forward(cycle)
         if self._mode.mode.deflecting:
             dispatched = self._deflection_step(cycle)
@@ -270,8 +300,9 @@ class AfcRouter(BaseRouter):
             self.rng,
             remaining,
             self._net_ports,
-            port_allowed=lambda f, p: self._neighbors[p].can_send(f.vnet),
+            port_allowed=self._deflect_mask,
             prod_row=self._prod_row,
+            fallback_row=self._fallback_row,
         )
 
         # 3. Emergency buffering for flits with no usable port.
@@ -290,6 +321,11 @@ class AfcRouter(BaseRouter):
             self._dispatch(flit, out_port, cycle)
             dispatched += 1
         return dispatched
+
+    def _port_allowed(self, flit: Flit, port: Direction) -> bool:
+        """Credit mask toward mixed-mode neighbours (pure within one
+        allocation call: ``on_send`` only fires at dispatch time)."""
+        return self._ok_rows[port][flit.vnet]
 
     def _emergency_buffer(
         self,
@@ -354,79 +390,109 @@ class AfcRouter(BaseRouter):
         ):
             return 0  # idle: nothing to inject, route, or arbitrate
         self._backpressured_inject(cycle)
-        requests: Dict[Direction, List[Tuple[Direction, Flit]]] = {}
-        for in_dir, port in self._input_ports.items():
-            chosen = self._pick_ready_flit(port)
+        # Switch allocation.  Each input port nominates one buffered
+        # flit whose output is usable this cycle: because every flit has
+        # its own one-flit VC, *any* buffered flit may be served —
+        # scanning all of them is exactly the HOL-blocking-avoidance
+        # lazy VC allocation buys (Section III-E).  Virtual networks are
+        # visited round-robin (so control packets are not starved behind
+        # cache-line transfers), oldest flit first within a vnet.  The
+        # credit mask is read from the neighbours' live ``ok`` tables
+        # (pure within the allocation phase: ``on_send`` only fires at
+        # grant time below).
+        requests = self._bp_requests
+        order = self._bp_order
+        ok_rows = self._ok_rows
+        xy_row = self._xy_row
+        local = Direction.LOCAL
+        nv = len(VNETS)
+        arbiter = self.energy.arbiter
+        node = self.node
+        for in_dir, port, vnet_lists in self._iport_scan:
+            if not port._count:
+                continue
+            sa_rr = port.sa_rr
+            chosen: Optional[Flit] = None
+            out_port = local
+            for offset in range(nv):
+                vnet = sa_rr + offset
+                if vnet >= nv:
+                    vnet -= nv
+                for flit in vnet_lists[vnet]:
+                    out_port = xy_row[flit.dst]
+                    if out_port is local or ok_rows[out_port][vnet]:
+                        chosen = flit
+                        break
+                if chosen is not None:
+                    port.sa_rr = vnet + 1 if vnet + 1 < nv else 0
+                    break
             if chosen is None:
                 continue
-            flit, out_port = chosen
-            requests.setdefault(out_port, []).append((in_dir, flit))
-            self.energy.arbiter(self.node)
+            reqs = requests[out_port]
+            if not reqs:
+                order.append(out_port)
+            reqs.append((in_dir, chosen))
+            arbiter(node)
         dispatched = 0
-        for out_port, reqs in requests.items():
-            capacity = (
-                self.config.eject_bandwidth
-                if out_port is Direction.LOCAL
-                else 1
+        if not order:
+            return dispatched
+        input_ports = self._input_ports
+        neighbors = self._neighbors
+        in_channels = self.in_channels
+        energy = self.energy
+        buffer_read = energy.buffer_read
+        credit_energy = energy.credit
+        switch_traversal = self.stats.record_switch_traversal
+        eject_bandwidth = self.config.eject_bandwidth
+        for out_port in order:
+            reqs = requests[out_port]
+            capacity = eject_bandwidth if out_port is local else 1
+            winners = (
+                reqs
+                if len(reqs) <= capacity
+                else self._grant(out_port, reqs, capacity)
             )
-            for in_dir, flit in self._grant(out_port, reqs, capacity):
-                self._input_ports[in_dir].remove(flit)
-                self.energy.buffer_read(self.node)
-                self.stats.record_switch_traversal()
+            for in_dir, flit in winners:
+                input_ports[in_dir].remove(flit)
+                buffer_read(node)
+                switch_traversal()
                 dispatched += 1
-                if out_port is Direction.LOCAL:
+                if out_port is local:
                     self._eject(flit, cycle)
                 else:
-                    self._neighbors[out_port].on_send(flit.vnet)
+                    neighbors[out_port].on_send(flit.vnet)
                     self._dispatch(flit, out_port, cycle)
-                if in_dir is not Direction.LOCAL:
-                    self.in_channels[in_dir].send_credit(
+                if in_dir is not local:
+                    in_channels[in_dir].send_credit(
                         CreditMessage(vnet=flit.vnet), cycle
                     )
-                    self.energy.credit(self.node)
+                    credit_energy(node)
+            reqs.clear()
+        order.clear()
         return dispatched
 
-    def _pick_ready_flit(
-        self, port: LazyInputPort
-    ) -> Optional[Tuple[Flit, Direction]]:
-        """A buffered flit whose output is usable this cycle.
-
-        Because every flit has its own one-flit VC, *any* buffered flit
-        may be served — scanning all of them is exactly the
-        HOL-blocking-avoidance lazy VC allocation buys (Section III-E).
-        Virtual networks are visited round-robin (so control packets
-        are not starved behind cache-line transfers), oldest flit first
-        within a vnet.
-        """
-        vnets = VNETS
-        for offset in range(len(vnets)):
-            vnet = vnets[(port.sa_rr + offset) % len(vnets)]
-            for flit in port.flits_of(vnet):
-                out_port = self._xy_row[flit.dst]
-                if out_port is not Direction.LOCAL and not self._neighbors[
-                    out_port
-                ].can_send(flit.vnet):
-                    continue
-                port.sa_rr = (port.sa_rr + offset + 1) % len(vnets)
-                return flit, out_port
-        return None
-
     def _backpressured_inject(self, cycle: int) -> None:
-        if self.ni is None or not self.ni.has_pending:
+        ni = self.ni
+        if ni is None or not ni.has_pending:
             return
         local = self._input_ports[Direction.LOCAL]
         vnets = VNETS
-        for offset in range(len(vnets)):
-            vnet = vnets[(self._inject_rr + offset) % len(vnets)]
-            if self.ni.peek(vnet) is None:
+        n = len(vnets)
+        inject_rr = self._inject_rr
+        queues = ni._queues
+        by_vnet = local._by_vnet
+        capacity = local.capacity
+        for offset in range(n):
+            vnet = vnets[(inject_rr + offset) % n]
+            if not queues[vnet]:
                 continue
-            if local.free_slots(vnet) <= 0:
+            if len(by_vnet[vnet]) >= capacity[vnet]:
                 continue
-            flit = self.ni.pop(vnet, cycle)
+            flit = ni.pop(vnet, cycle)
             local.insert(flit)
             self.energy.buffer_write(self.node)
             self._entries_this_cycle += 1
-            self._inject_rr = (self._inject_rr + offset + 1) % len(vnets)
+            self._inject_rr = (inject_rr + offset + 1) % n
             return
 
     def _grant(
@@ -439,7 +505,10 @@ class AfcRouter(BaseRouter):
             return reqs
         start = self._grant_rr[out_port]
         self._grant_rr[out_port] += capacity
-        ordered = sorted(reqs, key=lambda r: r[0].value)
+        # Plain tuple sort: each input port requests at most once per
+        # output, so the (distinct) directions decide the order and the
+        # flits are never compared — same order as key=r[0].value.
+        ordered = sorted(reqs)
         return [ordered[(start + i) % len(ordered)] for i in range(capacity)]
 
     # -- introspection --------------------------------------------------------

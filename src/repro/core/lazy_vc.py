@@ -37,6 +37,8 @@ class LazyInputPort:
     correct, which is the point of lazy allocation.
     """
 
+    __slots__ = ("capacity", "_by_vnet", "_count", "sa_rr")
+
     def __init__(self, vcs: Sequence[int]) -> None:
         self.capacity: Dict[VirtualNetwork, int] = {
             vnet: count for vnet, count in zip(VirtualNetwork, vcs)
@@ -74,12 +76,14 @@ class LazyInputPort:
     # -- flit movement ------------------------------------------------------------
     def insert(self, flit: Flit) -> None:
         """Lazily allocate a free slot (VC) of the flit's vnet to it."""
-        if self.free_slots(flit.vnet) <= 0:
+        vnet = flit.vnet
+        flits = self._by_vnet[vnet]
+        if len(flits) >= self.capacity[vnet]:
             raise RuntimeError(
-                f"lazy buffer overflow on vnet {flit.vnet.name}: "
+                f"lazy buffer overflow on vnet {vnet.name}: "
                 "per-vnet credit protocol violated"
             )
-        self._by_vnet[flit.vnet].append(flit)
+        flits.append(flit)
         self._count += 1
 
     def flits(self) -> List[Flit]:
@@ -109,12 +113,24 @@ class NeighborCreditState:
     true.
     """
 
+    __slots__ = ("capacity", "tracking", "credits", "_total_free", "ok")
+
     def __init__(self, vcs: Sequence[int]) -> None:
         self.capacity: Dict[VirtualNetwork, int] = {
             vnet: count for vnet, count in zip(VirtualNetwork, vcs)
         }
         self.tracking = False
         self.credits: Dict[VirtualNetwork, int] = dict(self.capacity)
+        #: Running sum of ``credits.values()`` — the gossip trigger
+        #: polls :attr:`total_free` for every neighbour every adaptive
+        #: cycle, so it must not re-sum the dict each time.
+        self._total_free = sum(self.credits.values())
+        #: Per-vnet :meth:`can_send` verdicts, indexed by vnet value and
+        #: maintained incrementally (credits change orders of magnitude
+        #: less often than allocation reads them).  The list object is
+        #: stable for the state's lifetime: routers cache it and index
+        #: it directly in their allocation loops.
+        self.ok: List[bool] = [True] * len(VirtualNetwork)
 
     # -- control line ------------------------------------------------------------
     def start_tracking(self, occupied: Tuple[int, int, int]) -> None:
@@ -123,6 +139,8 @@ class NeighborCreditState:
             self.credits[vnet] = self.capacity[vnet] - occ
             if self.credits[vnet] < 0:
                 raise RuntimeError("occupancy snapshot exceeds capacity")
+            self.ok[vnet] = self.credits[vnet] > 0
+        self._total_free = sum(self.credits.values())
 
     def stop_tracking(self) -> None:
         """Neighbour went backpressureless: treat the port as free
@@ -130,17 +148,25 @@ class NeighborCreditState:
         the switched router to empty')."""
         self.tracking = False
         self.credits = dict(self.capacity)
+        self._total_free = sum(self.credits.values())
+        ok = self.ok
+        for vnet in range(len(ok)):
+            ok[vnet] = True
 
     # -- credit accounting -----------------------------------------------------------
     def can_send(self, vnet: VirtualNetwork) -> bool:
-        return not self.tracking or self.credits[vnet] > 0
+        return self.ok[vnet]
 
     def on_send(self, vnet: VirtualNetwork) -> None:
         if not self.tracking:
             return
         if self.credits[vnet] <= 0:
             raise RuntimeError(f"dispatched without credit on {vnet.name}")
-        self.credits[vnet] -= 1
+        left = self.credits[vnet] - 1
+        self.credits[vnet] = left
+        self._total_free -= 1
+        if left == 0:
+            self.ok[vnet] = False
 
     def on_credit(self, vnet: VirtualNetwork, debit: bool = False) -> None:
         """Apply a credit (or occupancy debit) message.
@@ -152,14 +178,17 @@ class NeighborCreditState:
         """
         if not self.tracking:
             return
+        before = self.credits[vnet]
         if debit:
-            self.credits[vnet] = max(0, self.credits[vnet] - 1)
+            after = before - 1 if before > 0 else 0
         else:
-            self.credits[vnet] = min(
-                self.capacity[vnet], self.credits[vnet] + 1
-            )
+            capacity = self.capacity[vnet]
+            after = before + 1 if before < capacity else capacity
+        self.credits[vnet] = after
+        self._total_free += after - before
+        self.ok[vnet] = after > 0
 
     @property
     def total_free(self) -> int:
         """Free slots across all vnets (the gossip-trigger metric)."""
-        return sum(self.credits.values())
+        return self._total_free

@@ -138,10 +138,27 @@ class OrionEnergyMeter(EnergyMeter):
         #: Physical bits per flit (leakage, area).
         self.physical_bits = config.data_bits + control
         self.totals = EnergyBreakdown()
+        #: Single-event energies, precomputed for the per-flit fast
+        #: paths below.  ``1 * a * b == a * b`` bit-exactly, so the
+        #: ``flits == 1`` branches add the same floats the general
+        #: expressions produce; multi-flit calls keep the original
+        #: left-to-right association.
+        self._buffer_write_flit_pj = (
+            params.buffer_write_pj_per_bit * self.effective_bits
+        )
+        self._buffer_read_flit_pj = (
+            params.buffer_read_pj_per_bit * self.effective_bits
+        )
+        self._crossbar_flit_pj = params.crossbar_pj_per_bit * self.effective_bits
+        self._link_flit_pj = params.link_pj_per_bit * self.effective_bits
+        self._latch_flit_pj = params.latch_pj_per_bit * self.effective_bits
 
     # -- dynamic events ------------------------------------------------------
     def buffer_write(self, node: int, flits: int = 1) -> None:
         if self.ideal_bypass:
+            return
+        if flits == 1:
+            self.totals.buffer_dynamic += self._buffer_write_flit_pj
             return
         self.totals.buffer_dynamic += (
             flits * self.params.buffer_write_pj_per_bit * self.effective_bits
@@ -150,11 +167,17 @@ class OrionEnergyMeter(EnergyMeter):
     def buffer_read(self, node: int, flits: int = 1) -> None:
         if self.ideal_bypass:
             return
+        if flits == 1:
+            self.totals.buffer_dynamic += self._buffer_read_flit_pj
+            return
         self.totals.buffer_dynamic += (
             flits * self.params.buffer_read_pj_per_bit * self.effective_bits
         )
 
     def crossbar(self, node: int, flits: int = 1) -> None:
+        if flits == 1:
+            self.totals.crossbar += self._crossbar_flit_pj
+            return
         self.totals.crossbar += (
             flits * self.params.crossbar_pj_per_bit * self.effective_bits
         )
@@ -163,11 +186,17 @@ class OrionEnergyMeter(EnergyMeter):
         self.totals.arbiter += requests * self.params.arbiter_pj
 
     def link(self, node: int, flits: int = 1) -> None:
+        if flits == 1:
+            self.totals.link += self._link_flit_pj
+            return
         self.totals.link += (
             flits * self.params.link_pj_per_bit * self.effective_bits
         )
 
     def latch(self, node: int, flits: int = 1) -> None:
+        if flits == 1:
+            self.totals.latch += self._latch_flit_pj
+            return
         self.totals.latch += (
             flits * self.params.latch_pj_per_bit * self.effective_bits
         )

@@ -13,14 +13,21 @@ virtual network it travels on.  This is what makes flit-by-flit routing
 Backpressured-only networks would not need all of these fields on every
 flit, which is why their flits are narrower (41 vs 45 vs 49 bits, see
 :mod:`repro.network.config`).
+
+Data layout: flits and packets are ``__slots__`` classes, and the
+identity fields a router consults on every hop (``pid``, ``src``,
+``dst``, ``vnet``, ``is_head``, ``is_tail``) are *denormalized* onto the
+flit at creation — plain attribute reads, no ``flit.packet.*`` property
+chain.  They mirror the owning packet and are immutable in spirit; see
+docs/PERFORMANCE.md ("Saturation fast path") for the rules.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from enum import IntEnum
 from typing import Iterator, Optional
+
+from enum import IntEnum
 
 
 class VirtualNetwork(IntEnum):
@@ -57,7 +64,6 @@ def reset_packet_ids() -> None:
     _packet_ids = itertools.count()
 
 
-@dataclass
 class Packet:
     """A multi-flit message between two network clients.
 
@@ -77,29 +83,53 @@ class Packet:
         Free-form tag used by the memory-system substrate to interpret
         the packet (e.g. ``"GETS"``, ``"DATA"``); the network itself
         never looks at it.
+    meta:
+        Client-private annotations (e.g. the memory-system substrate's
+        transaction id and requestor); opaque to the network.
+    epoch:
+        Retransmission epoch (dropping flow control only): incremented
+        each time the packet is dropped and must be resent in full;
+        flits stamped with an older epoch are stale and are discarded at
+        the destination's reassembly buffer.
     """
 
-    src: int
-    dst: int
-    vnet: VirtualNetwork
-    num_flits: int
-    created_at: int
-    kind: str = "payload"
-    #: Client-private annotations (e.g. the memory-system substrate's
-    #: transaction id and requestor); opaque to the network.
-    meta: Optional[dict] = None
-    #: Retransmission epoch (dropping flow control only): incremented
-    #: each time the packet is dropped and must be resent in full;
-    #: flits stamped with an older epoch are stale and are discarded at
-    #: the destination's reassembly buffer.
-    epoch: int = 0
-    pid: int = field(default_factory=lambda: next(_packet_ids))
+    __slots__ = (
+        "src",
+        "dst",
+        "vnet",
+        "num_flits",
+        "created_at",
+        "kind",
+        "meta",
+        "epoch",
+        "pid",
+    )
 
-    def __post_init__(self) -> None:
-        if self.num_flits < 1:
-            raise ValueError(f"packet must have >= 1 flit, got {self.num_flits}")
-        if self.src == self.dst:
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        vnet: VirtualNetwork,
+        num_flits: int,
+        created_at: int,
+        kind: str = "payload",
+        meta: Optional[dict] = None,
+        epoch: int = 0,
+        pid: Optional[int] = None,
+    ) -> None:
+        if num_flits < 1:
+            raise ValueError(f"packet must have >= 1 flit, got {num_flits}")
+        if src == dst:
             raise ValueError("packet source and destination must differ")
+        self.src = src
+        self.dst = dst
+        self.vnet = vnet
+        self.num_flits = num_flits
+        self.created_at = created_at
+        self.kind = kind
+        self.meta = meta
+        self.epoch = epoch
+        self.pid = next(_packet_ids) if pid is None else pid
 
     def flits(self) -> Iterator["Flit"]:
         """Expand the packet into its flit sequence (stamped with the
@@ -107,59 +137,76 @@ class Packet:
         for seq in range(self.num_flits):
             yield Flit(packet=self, seq=seq, epoch=self.epoch)
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet(pid={self.pid}, {self.src}->{self.dst}, "
+            f"vnet={self.vnet.name}, num_flits={self.num_flits}, "
+            f"kind={self.kind!r})"
+        )
 
-@dataclass(eq=False)
+
 class Flit:
     """A single flow-control unit.
 
     Routing state (``injected_at``, ``hops``, ``deflections``) is mutated
-    by routers as the flit travels; the identity fields are immutable in
-    spirit (never reassigned after creation).  Flits compare by identity
-    (``eq=False``): two flits are the same flit only if they are the
-    same object, which also keeps them hashable for set membership.
+    by routers as the flit travels.  The identity fields (``pid``,
+    ``src``, ``dst``, ``vnet``, ``is_head``, ``is_tail``) are copied
+    from the owning packet at creation so the per-hop hot path reads
+    plain slot attributes; they are never reassigned.  Flits compare by
+    identity: two flits are the same flit only if they are the same
+    object, which also keeps them hashable for set membership.
     """
 
-    packet: Packet
-    seq: int
+    __slots__ = (
+        "packet",
+        "seq",
+        "injected_at",
+        "hops",
+        "deflections",
+        "vc",
+        "epoch",
+        "pid",
+        "src",
+        "dst",
+        "vnet",
+        "is_head",
+        "is_tail",
+    )
 
-    #: Cycle the flit entered the network proper (left the injection queue).
-    injected_at: Optional[int] = None
-    #: Network hops traversed so far (link traversals).
-    hops: int = 0
-    #: Number of non-productive (deflected) hops; only deflection-mode
-    #: routers ever increment this.
-    deflections: int = 0
-    #: Virtual channel assigned for the current hop.  The baseline router
-    #: sets this at dispatch (the downstream buffer is chosen upstream);
-    #: AFC's lazy scheme leaves it at -1 and binds the VC on arrival.
-    vc: int = -1
-    #: Retransmission epoch this flit belongs to (see Packet.epoch).
-    epoch: int = 0
-
-    # -- identity helpers -------------------------------------------------
-    @property
-    def pid(self) -> int:
-        return self.packet.pid
-
-    @property
-    def src(self) -> int:
-        return self.packet.src
-
-    @property
-    def dst(self) -> int:
-        return self.packet.dst
-
-    @property
-    def vnet(self) -> VirtualNetwork:
-        return self.packet.vnet
-
-    @property
-    def is_head(self) -> bool:
-        return self.seq == 0
-
-    @property
-    def is_tail(self) -> bool:
-        return self.seq == self.packet.num_flits - 1
+    def __init__(
+        self,
+        packet: Packet,
+        seq: int,
+        injected_at: Optional[int] = None,
+        hops: int = 0,
+        deflections: int = 0,
+        vc: int = -1,
+        epoch: int = 0,
+    ) -> None:
+        self.packet = packet
+        self.seq = seq
+        #: Cycle the flit entered the network proper (left the
+        #: injection queue).
+        self.injected_at = injected_at
+        #: Network hops traversed so far (link traversals).
+        self.hops = hops
+        #: Number of non-productive (deflected) hops; only
+        #: deflection-mode routers ever increment this.
+        self.deflections = deflections
+        #: Virtual channel assigned for the current hop.  The baseline
+        #: router sets this at dispatch (the downstream buffer is chosen
+        #: upstream); AFC's lazy scheme leaves it at -1 and binds the VC
+        #: on arrival.
+        self.vc = vc
+        #: Retransmission epoch this flit belongs to (see Packet.epoch).
+        self.epoch = epoch
+        # -- denormalized identity (hot-path reads) -----------------------
+        self.pid = packet.pid
+        self.src = packet.src
+        self.dst = packet.dst
+        self.vnet = packet.vnet
+        self.is_head = seq == 0
+        self.is_tail = seq == packet.num_flits - 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

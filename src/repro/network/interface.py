@@ -38,6 +38,10 @@ class NetworkInterface:
         self._queues: Dict[VirtualNetwork, Deque[Flit]] = {
             vnet: deque() for vnet in VirtualNetwork
         }
+        #: Running total of queued flits across vnets (``has_pending``
+        #: is polled several times per cycle per router, so it must not
+        #: re-scan the queues).
+        self._queued = 0
         self.reassembly = ReassemblyBuffer(node)
         #: Completed packets not yet collected by a polling client.
         self.completed: Deque[CompletedPacket] = deque()
@@ -60,6 +64,7 @@ class NetworkInterface:
         queue = self._queues[packet.vnet]
         for flit in packet.flits():
             queue.append(flit)
+        self._queued += packet.num_flits
         if self.on_activity is not None:
             self.on_activity()
 
@@ -71,6 +76,7 @@ class NetworkInterface:
     def pop(self, vnet: VirtualNetwork, cycle: int) -> Flit:
         """Remove and return the next flit; stamps its injection cycle."""
         flit = self._queues[vnet].popleft()
+        self._queued -= 1
         flit.injected_at = cycle
         return flit
 
@@ -95,6 +101,7 @@ class NetworkInterface:
         self.flits_offered_total += packet.num_flits
         for flit in packet.flits():
             queue.append(flit)
+        self._queued += packet.num_flits - purged
         if self.on_activity is not None:
             self.on_activity()
         return purged
@@ -105,11 +112,11 @@ class NetworkInterface:
 
     @property
     def source_queue_flits(self) -> int:
-        return sum(len(q) for q in self._queues.values())
+        return self._queued
 
     @property
     def has_pending(self) -> bool:
-        return any(self._queues.values())
+        return self._queued > 0
 
     # -- receive side -------------------------------------------------------------
     def eject(self, flit: Flit, cycle: int) -> None:

@@ -15,6 +15,17 @@ Links are where the two flow-control disciplines meet: a backpressured
 downstream router emits credits on the backflow pipe, a backpressureless
 one does not, and AFC routers toggle between the two with explicit
 start/stop-credit-tracking notifications.
+
+Hot-path contract (the *drain protocol*, see docs/PERFORMANCE.md):
+delivery must not allocate when a pipe is empty — the common case for
+most pipes on most cycles.  Callers that run per cycle first probe
+emptiness (:meth:`DelayLine.has_ready`, or the pipe's ``_items`` deque
+directly inside the network package) and then consume ready items
+one-by-one via :meth:`DelayLine.pop_ready_into` or an inline
+peek-and-popleft loop; the list-returning :meth:`DelayLine.pop_ready`
+remains for tests and cold paths.  Backflow items are the message
+objects themselves (:class:`CreditMessage` / :class:`ModeNotification`,
+dispatched by type) — no per-message tuple wrapping.
 """
 
 from __future__ import annotations
@@ -22,7 +33,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 from enum import Enum
-from typing import Callable, Deque, Generic, List, Optional, Tuple, TypeVar
+from typing import Callable, Deque, Generic, List, Optional, Tuple, TypeVar, Union
 
 from .flit import Flit, VirtualNetwork
 from .topology import Direction
@@ -38,6 +49,8 @@ class DelayLine(Generic[T]):
     non-decreasing cycle numbers.
     """
 
+    __slots__ = ("latency", "_items")
+
     def __init__(self, latency: int) -> None:
         if latency < 0:
             raise ValueError("latency must be >= 0")
@@ -48,21 +61,52 @@ class DelayLine(Generic[T]):
         """Insert ``item`` at ``cycle``; it is deliverable at
         ``cycle + latency``."""
         ready = cycle + self.latency
-        if self._items and self._items[-1][0] > ready:
+        items = self._items
+        if items and items[-1][0] > ready:
             raise ValueError("DelayLine pushes must have non-decreasing cycles")
-        self._items.append((ready, item))
+        items.append((ready, item))
 
     def pop_ready(self, cycle: int) -> List[T]:
-        """Remove and return every item deliverable at or before ``cycle``."""
+        """Remove and return every item deliverable at or before ``cycle``.
+
+        Allocates a fresh list; cold paths and tests only.  Per-cycle
+        callers use :meth:`pop_ready_into` (caller-owned buffer) or an
+        inline drain loop instead.
+        """
         out: List[T] = []
-        while self._items and self._items[0][0] <= cycle:
-            out.append(self._items.popleft()[1])
+        items = self._items
+        while items and items[0][0] <= cycle:
+            out.append(items.popleft()[1])
         return out
 
-    def peek_ready(self, cycle: int) -> List[T]:
-        """Return (without removing) items deliverable at or before
-        ``cycle``."""
-        return [item for ready, item in self._items if ready <= cycle]
+    def pop_ready_into(self, cycle: int, out: List[T]) -> int:
+        """Append every item deliverable at or before ``cycle`` to
+        ``out`` (a caller-owned, caller-cleared buffer); return the
+        number appended.  Allocation-free when the pipe has nothing
+        ready."""
+        items = self._items
+        n = 0
+        while items and items[0][0] <= cycle:
+            out.append(items.popleft()[1])
+            n += 1
+        return n
+
+    def has_ready(self, cycle: int) -> bool:
+        """True when at least one item is deliverable at or before
+        ``cycle`` (O(1), allocation-free emptiness probe)."""
+        items = self._items
+        return bool(items) and items[0][0] <= cycle
+
+    def ready_count(self, cycle: int) -> int:
+        """Number of items deliverable at or before ``cycle`` without
+        removing them (allocation-free; replaces the old list-building
+        ``peek_ready`` for callers that only need a count)."""
+        n = 0
+        for ready, _item in self._items:
+            if ready > cycle:
+                break
+            n += 1
+        return n
 
     def __len__(self) -> int:
         return len(self._items)
@@ -85,7 +129,7 @@ class ModeNotice(Enum):
     STOP_CREDITS = "stop_credits"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CreditMessage:
     """A credit return for one flit freed from a downstream input buffer.
 
@@ -106,7 +150,7 @@ class CreditMessage:
     debit: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ModeNotification:
     """A mode notice plus, for START_CREDITS, the per-vnet occupancy of
     the downstream input port at the time the downstream router began
@@ -117,7 +161,9 @@ class ModeNotification:
     occupied: Tuple[int, int, int] = (0, 0, 0)
 
 
-Backflow = Tuple[str, object]  # ("credit", CreditMessage) | ("mode", ModeNotification)
+#: Items travelling on the backflow pipe: the message objects
+#: themselves, dispatched by concrete type at the receiving router.
+Backflow = Union[CreditMessage, ModeNotification]
 
 
 class Channel:
@@ -127,6 +173,18 @@ class Channel:
     downstream router receives these flits on its ``direction.opposite``
     input port.
     """
+
+    __slots__ = (
+        "upstream",
+        "direction",
+        "downstream",
+        "link_latency",
+        "_flits",
+        "_backflow",
+        "flit_traversals",
+        "wake_flit",
+        "wake_backflow",
+    )
 
     def __init__(
         self,
@@ -165,16 +223,16 @@ class Channel:
 
     @property
     def flits_in_flight(self) -> int:
-        return self._flits.in_flight
+        return len(self._flits._items)
 
     # -- backflow direction -------------------------------------------------
     def send_credit(self, credit: CreditMessage, cycle: int) -> None:
-        self._backflow.push(("credit", credit), cycle)
+        self._backflow.push(credit, cycle)
         if self.wake_backflow is not None:
             self.wake_backflow(cycle + self._backflow.latency)
 
     def send_mode_notice(self, notice: ModeNotification, cycle: int) -> None:
-        self._backflow.push(("mode", notice), cycle)
+        self._backflow.push(notice, cycle)
         if self.wake_backflow is not None:
             self.wake_backflow(cycle + self._backflow.latency)
 
@@ -183,7 +241,7 @@ class Channel:
 
     @property
     def backflow_in_flight(self) -> int:
-        return self._backflow.in_flight
+        return len(self._backflow._items)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -66,8 +66,15 @@ class BaseRouter(ABC):
         self._net_ports: Optional[List[Direction]] = None
         self._xy_row: Tuple[Direction, ...] = ()
         self._prod_row: Tuple[Tuple[Direction, ...], ...] = ()
+        self._fallback_row: Tuple[Tuple[Direction, ...], ...] = ()
         self._in_list: Optional[Tuple[Tuple[Direction, Channel], ...]] = None
         self._out_list: Optional[Tuple[Tuple[Direction, Channel], ...]] = None
+        #: ``(direction, deque)`` drain views straight into the delay
+        #: lines (the deque objects are stable for a channel's lifetime),
+        #: so the per-cycle emptiness probe costs one index instead of
+        #: an attribute chase per channel.
+        self._in_drain: Optional[tuple] = None
+        self._out_drain: Optional[tuple] = None
 
     # -- wiring -------------------------------------------------------------
     def attach_input(self, direction: Direction, channel: Channel) -> None:
@@ -95,9 +102,18 @@ class BaseRouter(ABC):
         self._net_ports = list(self.out_channels.keys())
         self._in_list = tuple(self.in_channels.items())
         self._out_list = tuple(self.out_channels.items())
+        self._in_drain = tuple(
+            (direction, channel._flits._items)
+            for direction, channel in self._in_list
+        )
+        self._out_drain = tuple(
+            (direction, channel._backflow._items)
+            for direction, channel in self._out_list
+        )
         tables = routing_tables(self.mesh)
         self._xy_row = tables.xy[self.node]
         self._prod_row = tables.productive[self.node]
+        self._fallback_row = tables.fallback[self.node]
 
     # -- per-cycle protocol ---------------------------------------------------
     def deliver(self, cycle: int) -> None:
@@ -107,28 +123,33 @@ class BaseRouter(ABC):
         call; the emptiness peek reaches into the delay lines directly
         because this runs once per channel per cycle.
         """
-        in_list = (
-            self._in_list
-            if self._in_list is not None
-            else tuple(self.in_channels.items())
+        in_drain = (
+            self._in_drain
+            if self._in_drain is not None
+            else tuple(
+                (d, ch._flits._items) for d, ch in self.in_channels.items()
+            )
         )
-        out_list = (
-            self._out_list
-            if self._out_list is not None
-            else tuple(self.out_channels.items())
+        out_drain = (
+            self._out_drain
+            if self._out_drain is not None
+            else tuple(
+                (d, ch._backflow._items)
+                for d, ch in self.out_channels.items()
+            )
         )
-        for direction, channel in in_list:
-            if channel._flits._items:
-                for flit in channel.deliver_flits(cycle):
-                    self._accept_flit(flit, direction, cycle)
-        for direction, channel in out_list:
-            if channel._backflow._items:
-                for kind, message in channel.deliver_backflow(cycle):
-                    if kind == "credit":
-                        assert isinstance(message, CreditMessage)
+        accept_flit = self._accept_flit
+        for direction, items in in_drain:
+            if items and items[0][0] <= cycle:
+                while items and items[0][0] <= cycle:
+                    accept_flit(items.popleft()[1], direction, cycle)
+        for direction, items in out_drain:
+            if items and items[0][0] <= cycle:
+                while items and items[0][0] <= cycle:
+                    message = items.popleft()[1]
+                    if type(message) is CreditMessage:
                         self._accept_credit(direction, message, cycle)
                     else:
-                        assert isinstance(message, ModeNotification)
                         self._accept_mode_notice(direction, message, cycle)
 
     @abstractmethod

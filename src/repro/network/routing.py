@@ -7,6 +7,12 @@ forced onto any free port.  Lookahead routing (LAR) means the output port
 at the next hop is computed one hop early; in this simulator routes are
 simply computed combinationally when needed, which is timing-equivalent
 to LAR inside the 2-stage pipeline of Table I.
+
+Hot-path layout: routes are precomputed once per mesh into *flat*
+tables indexed by ``node * num_nodes + dst`` (:class:`RoutingTables`),
+shared by every router of every design.  Routers slice out their own
+row at finalize time, so a per-flit route lookup is a single tuple
+index — no coordinate math, no dict lookups, no list building.
 """
 
 from __future__ import annotations
@@ -15,7 +21,7 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import List, Tuple
 
-from .topology import Direction, Mesh
+from .topology import Direction, Mesh, network_port_table
 
 
 def _xy_route_computed(mesh: Mesh, current: int, dst: int) -> Direction:
@@ -51,31 +57,64 @@ def _productive_ports_computed(
 
 @dataclass(frozen=True)
 class RoutingTables:
-    """Precomputed per-node routing rows for one mesh.
+    """Precomputed route tables for one mesh.
 
-    ``xy[current][dst]`` is the dimension-ordered output port and
-    ``productive[current][dst]`` the tuple of distance-reducing ports
-    (DOR port first).  Routers grab their own row once at finalize time
-    so the per-flit hot path is a plain list index — no coordinate math,
-    no dict lookups, no list building.
+    The canonical storage is *flat*: entry ``node * num_nodes + dst``
+    of ``xy_flat`` is the dimension-ordered output port at ``node``
+    toward ``dst``; the same index into ``productive_flat`` yields the
+    tuple of distance-reducing ports (DOR port first), and into
+    ``fallback_flat`` the tuple of existing *non-productive* ports in
+    the node's port order — the deflection-priority ordering a flit
+    falls back to when every productive port is taken or masked.
+
+    ``xy`` and ``productive`` are the same data re-sliced into per-node
+    rows (``xy[node][dst]``); routers grab their row once at finalize
+    time so the per-flit hot path is a plain tuple index.
     """
 
+    num_nodes: int
+    xy_flat: Tuple[Direction, ...]
+    productive_flat: Tuple[Tuple[Direction, ...], ...]
+    fallback_flat: Tuple[Tuple[Direction, ...], ...]
     xy: Tuple[Tuple[Direction, ...], ...]
     productive: Tuple[Tuple[Tuple[Direction, ...], ...], ...]
+    fallback: Tuple[Tuple[Tuple[Direction, ...], ...], ...]
 
 
 @lru_cache(maxsize=64)
 def routing_tables(mesh: Mesh) -> RoutingTables:
     """The (cached) routing tables for ``mesh``."""
-    nodes = range(mesh.num_nodes)
+    n = mesh.num_nodes
+    nodes = range(n)
+    port_table = network_port_table(mesh)
+    xy_flat: List[Direction] = []
+    productive_flat: List[Tuple[Direction, ...]] = []
+    fallback_flat: List[Tuple[Direction, ...]] = []
+    for cur in nodes:
+        ports = port_table[cur]
+        for dst in nodes:
+            xy_flat.append(_xy_route_computed(mesh, cur, dst))
+            productive = _productive_ports_computed(mesh, cur, dst)
+            productive_flat.append(productive)
+            fallback_flat.append(
+                tuple(p for p in ports if p not in productive)
+            )
+    xy_flat_t = tuple(xy_flat)
+    productive_flat_t = tuple(productive_flat)
+    fallback_flat_t = tuple(fallback_flat)
     return RoutingTables(
+        num_nodes=n,
+        xy_flat=xy_flat_t,
+        productive_flat=productive_flat_t,
+        fallback_flat=fallback_flat_t,
         xy=tuple(
-            tuple(_xy_route_computed(mesh, cur, dst) for dst in nodes)
-            for cur in nodes
+            xy_flat_t[cur * n : (cur + 1) * n] for cur in nodes
         ),
         productive=tuple(
-            tuple(_productive_ports_computed(mesh, cur, dst) for dst in nodes)
-            for cur in nodes
+            productive_flat_t[cur * n : (cur + 1) * n] for cur in nodes
+        ),
+        fallback=tuple(
+            fallback_flat_t[cur * n : (cur + 1) * n] for cur in nodes
         ),
     )
 

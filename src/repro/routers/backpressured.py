@@ -55,7 +55,7 @@ def vc_ranges(vcs: Sequence[int]) -> Dict[VirtualNetwork, range]:
     return ranges
 
 
-@dataclass
+@dataclass(slots=True)
 class VirtualChannelBuffer:
     """One VC of an input port: a FIFO plus per-packet allocation state."""
 
@@ -80,7 +80,7 @@ class VirtualChannelBuffer:
         self.out_vc = None
 
 
-@dataclass
+@dataclass(slots=True)
 class _DownstreamVC:
     """Upstream-side mirror of one downstream input VC."""
 
@@ -91,6 +91,8 @@ class _DownstreamVC:
 class _OutputPortState:
     """Credit and allocation state for one network output port."""
 
+    __slots__ = ("vc_states", "ranges", "_alloc_rr", "_alloc_scan", "grant_rr")
+
     def __init__(self, vcs: Sequence[int], depth: int) -> None:
         self.vc_states = [
             _DownstreamVC(credits=depth) for _ in range(sum(vcs))
@@ -99,24 +101,37 @@ class _OutputPortState:
         self._alloc_rr: Dict[VirtualNetwork, int] = {
             vnet: 0 for vnet in VirtualNetwork
         }
+        #: ``_alloc_scan[vnet][start]`` is the global-VC index sequence
+        #: the round-robin scan visits from pointer ``start`` —
+        #: precomputed so the per-allocation loop is modulo-free.
+        self._alloc_scan: Dict[VirtualNetwork, Tuple[Tuple[int, ...], ...]] = {
+            vnet: tuple(
+                tuple(rng[(start + i) % len(rng)] for i in range(len(rng)))
+                for start in range(len(rng))
+            )
+            for vnet, rng in self.ranges.items()
+        }
         self.grant_rr = 0
 
     def allocate_vc(self, vnet: VirtualNetwork) -> Optional[int]:
         """Claim a free downstream VC in ``vnet`` (round-robin scan)."""
-        rng = self.ranges[vnet]
-        n = len(rng)
         start = self._alloc_rr[vnet]
+        row = self._alloc_scan[vnet][start]
+        n = len(row)
+        vc_states = self.vc_states
         for i in range(n):
-            idx = rng[(start + i) % n]
-            if not self.vc_states[idx].busy:
-                self.vc_states[idx].busy = True
+            state = vc_states[row[i]]
+            if not state.busy:
+                state.busy = True
                 self._alloc_rr[vnet] = (start + i + 1) % n
-                return idx
+                return row[i]
         return None
 
 
 class _InputPort:
     """All VCs of one input port, plus its SA round-robin pointer."""
+
+    __slots__ = ("vcs", "ranges", "sa_rr", "sa_scan")
 
     def __init__(self, vcs: Sequence[int], depth: int) -> None:
         self.vcs: List[VirtualChannelBuffer] = []
@@ -127,6 +142,12 @@ class _InputPort:
             )
         self.ranges = vc_ranges(vcs)
         self.sa_rr = 0
+        #: ``sa_scan[start]`` is the VC visiting order of the switch
+        #: allocator's round-robin scan from pointer ``start``.
+        n = len(self.vcs)
+        self.sa_scan: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple((start + i) % n for i in range(n)) for start in range(n)
+        )
 
     def occupancy(self) -> int:
         return sum(len(vc.queue) for vc in self.vcs)
@@ -171,6 +192,16 @@ class BackpressuredRouter(BaseRouter):
         #: cycle and have not (yet) paid for a buffer write.
         self._realistic_bypass = design is Design.BACKPRESSURED_BYPASS
         self._bypass_pending: set = set()
+        #: Flattened hot-path views, built by :meth:`finalize`.
+        self._iport_items: Tuple[Tuple[Direction, _InputPort], ...] = ()
+        self._iport_list: Tuple[_InputPort, ...] = ()
+        #: Persistent switch-allocation request lists (one per possible
+        #: output port, reused every cycle) and the insertion-order list
+        #: of ports with requests this cycle.  Grant processing follows
+        #: first-request order, exactly like the ``setdefault`` dict it
+        #: replaces — energy accumulation order depends on it.
+        self._sa_requests: Dict[Direction, List[Tuple[Direction, int]]] = {}
+        self._sa_order: List[Direction] = []
 
     # -- wiring -----------------------------------------------------------
     def finalize(self) -> None:
@@ -184,6 +215,12 @@ class BackpressuredRouter(BaseRouter):
                 self._vcs, self._depth
             )
         self._cache_tables()
+        self._iport_items = tuple(self._input_ports.items())
+        self._iport_list = tuple(self._input_ports.values())
+        self._sa_requests = {
+            direction: [] for direction in self._out_state
+        }
+        self._sa_requests[Direction.LOCAL] = []
         self._finalized = True
 
     # -- receive paths -------------------------------------------------------
@@ -233,7 +270,8 @@ class BackpressuredRouter(BaseRouter):
 
     # -- per-cycle operation -------------------------------------------------
     def step(self, cycle: int) -> None:
-        self.finalize()
+        if not self._finalized:
+            self.finalize()
         if self._buffered == 0 and (
             self.ni is None or not self.ni.has_pending
         ):
@@ -251,14 +289,15 @@ class BackpressuredRouter(BaseRouter):
     # one flit per cycle, one packet per VC at a time (per-packet VC
     # discipline applies to the injection port like any other).
     def _inject(self, cycle: int) -> None:
-        if self.ni is None or not self.ni.has_pending:
+        ni = self.ni
+        if ni is None or not ni.has_pending:
             return
         local = self._input_ports[Direction.LOCAL]
         vnets = VNETS
+        queues = ni._queues
         for offset in range(len(vnets)):
             vnet = vnets[(self._inject_rr + offset) % len(vnets)]
-            flit = self.ni.peek(vnet)
-            if flit is None:
+            if not queues[vnet]:
                 continue
             vc_idx = self._stream_vc[vnet]
             if vc_idx is None:
@@ -294,59 +333,79 @@ class BackpressuredRouter(BaseRouter):
 
     # Routing (lookahead-equivalent) + 0-cycle VC allocation.
     def _route_and_allocate_vcs(self) -> None:
-        for port in self._input_ports.values():
+        xy_row = self._xy_row
+        out_state = self._out_state
+        local = Direction.LOCAL
+        for port in self._iport_list:
             for vc in port.vcs:
                 if not vc.queue:
                     continue
                 head = vc.queue[0]
-                if vc.out_port is None:
+                out_port = vc.out_port
+                if out_port is None:
                     assert head.is_head, "body flit reached an unrouted VC"
-                    vc.out_port = self._xy_row[head.dst]
-                if vc.out_port is Direction.LOCAL or vc.out_vc is not None:
+                    out_port = vc.out_port = xy_row[head.dst]
+                if out_port is local or vc.out_vc is not None:
                     continue
-                allocated = self._out_state[vc.out_port].allocate_vc(head.vnet)
+                allocated = out_state[out_port].allocate_vc(head.vnet)
                 if allocated is not None:
                     vc.out_vc = allocated
                     self.energy.arbiter(self.node)
 
-    # Separable (input-first) switch allocation, one iteration.
+    # Separable (input-first) switch allocation, one iteration.  Each
+    # input port nominates the first VC (in round-robin order from its
+    # SA pointer) holding a routed head-of-line flit whose output is
+    # usable this cycle; the per-output grant stage then picks winners.
     def _switch_allocation(self, cycle: int) -> None:
-        requests: Dict[Direction, List[Tuple[Direction, int]]] = {}
-        for in_dir, port in self._input_ports.items():
-            chosen = self._pick_sa_candidate(port)
-            if chosen is None:
+        requests = self._sa_requests
+        order = self._sa_order
+        out_state = self._out_state
+        local = Direction.LOCAL
+        arbiter = self.energy.arbiter
+        node = self.node
+        for in_dir, port in self._iport_items:
+            vcs = port.vcs
+            sa_rr = port.sa_rr
+            chosen = -1
+            out_port = local
+            for idx in port.sa_scan[sa_rr]:
+                vc = vcs[idx]
+                out_port = vc.out_port
+                if not vc.queue or out_port is None:
+                    continue
+                if out_port is local:
+                    chosen = idx
+                    break
+                out_vc = vc.out_vc
+                if out_vc is None:
+                    continue
+                if out_state[out_port].vc_states[out_vc].credits > 0:
+                    chosen = idx
+                    break
+            if chosen < 0:
                 continue
-            vc_idx = chosen
-            out_port = port.vcs[vc_idx].out_port
-            assert out_port is not None
-            requests.setdefault(out_port, []).append((in_dir, vc_idx))
-            self.energy.arbiter(self.node)
-        for out_port, reqs in requests.items():
-            capacity = (
-                self.config.eject_bandwidth
-                if out_port is Direction.LOCAL
-                else 1
+            n = len(vcs)
+            port.sa_rr = chosen + 1 if chosen + 1 < n else 0
+            reqs = requests[out_port]
+            if not reqs:
+                order.append(out_port)
+            reqs.append((in_dir, chosen))
+            arbiter(node)
+        if not order:
+            return
+        eject_bandwidth = self.config.eject_bandwidth
+        for out_port in order:
+            reqs = requests[out_port]
+            capacity = eject_bandwidth if out_port is local else 1
+            winners = (
+                reqs
+                if len(reqs) <= capacity
+                else self._grant(out_port, reqs, capacity)
             )
-            for in_dir, vc_idx in self._grant(out_port, reqs, capacity):
+            for in_dir, vc_idx in winners:
                 self._traverse(in_dir, vc_idx, out_port, cycle)
-
-    def _pick_sa_candidate(self, port: _InputPort) -> Optional[int]:
-        n = len(port.vcs)
-        for i in range(n):
-            idx = (port.sa_rr + i) % n
-            vc = port.vcs[idx]
-            if not vc.queue or vc.out_port is None:
-                continue
-            if vc.out_port is Direction.LOCAL:
-                port.sa_rr = (idx + 1) % n
-                return idx
-            if vc.out_vc is None:
-                continue
-            out_state = self._out_state[vc.out_port]
-            if out_state.vc_states[vc.out_vc].credits > 0:
-                port.sa_rr = (idx + 1) % n
-                return idx
-        return None
+            reqs.clear()
+        order.clear()
 
     def _grant(
         self,
@@ -363,7 +422,10 @@ class BackpressuredRouter(BaseRouter):
             state = self._out_state[out_port]
             start = state.grant_rr
             state.grant_rr += capacity
-        ordered = sorted(reqs, key=lambda r: r[0].value)
+        # Plain tuple sort: each input port requests at most once per
+        # output, so the (distinct) directions decide the order and the
+        # vc indices are never reached — same order as key=r[0].value.
+        ordered = sorted(reqs)
         return [ordered[(start + i) % len(ordered)] for i in range(capacity)]
 
     def _traverse(
@@ -376,7 +438,7 @@ class BackpressuredRouter(BaseRouter):
         vc = self._input_ports[in_dir].vcs[vc_idx]
         flit = vc.queue.popleft()
         self._buffered -= 1
-        if flit in self._bypass_pending:
+        if self._realistic_bypass and flit in self._bypass_pending:
             self._bypass_pending.discard(flit)  # cut-through: no write/read
         else:
             self.energy.buffer_read(self.node)

@@ -46,6 +46,12 @@ def age_key(flit: Flit) -> Tuple[int, int, int]:
     return (injected, flit.pid, flit.seq)
 
 
+def _always_allowed(_flit: Flit, _port: Direction) -> bool:
+    """Port mask of the pure deflection router (module-level so the
+    per-cycle hot path does not allocate a closure)."""
+    return True
+
+
 def allocate_deflection_ports(
     mesh: Mesh,
     node: int,
@@ -55,6 +61,7 @@ def allocate_deflection_ports(
     port_allowed: Callable[[Flit, Direction], bool],
     sort_key: Optional[Callable[[Flit], object]] = None,
     prod_row: Optional[Sequence[Tuple[Direction, ...]]] = None,
+    fallback_row: Optional[Sequence[Tuple[Direction, ...]]] = None,
 ) -> Tuple[Dict[Direction, Flit], List[Flit]]:
     """Deflection port allocation.
 
@@ -75,6 +82,18 @@ def allocate_deflection_ports(
     ``prod_row``, when given, is this node's precomputed
     productive-ports row (``routing_tables(mesh).productive[node]``);
     passing it skips the per-flit table lookup on the hot path.
+
+    ``fallback_row`` additionally asserts the *full-port contract*:
+    ``ports`` is the node's complete network-port set (in wiring
+    order), so every productive port is known to be a member and the
+    deflection candidates are exactly the precomputed non-productive
+    ports (``routing_tables(mesh).fallback[node]``) filtered by
+    occupancy and the mask.  This is bit-identical to the generic path
+    — a productive port that is free and allowed is always taken by
+    the preferred loop first, so the generic ``free`` list can never
+    contain one — but skips the per-flit membership scans and list
+    rebuild.  Callers passing a port *subset* (tests, partial masks
+    with non-standard orders) must leave it ``None``.
     """
     order = list(flits)
     if sort_key is None:
@@ -85,9 +104,30 @@ def allocate_deflection_ports(
         prod_row = routing_tables(mesh).productive[node]
     assignment: Dict[Direction, Flit] = {}
     unplaced: List[Flit] = []
+    if fallback_row is not None:
+        for flit in order:
+            chosen: Optional[Direction] = None
+            for port in prod_row[flit.dst]:
+                if port not in assignment and port_allowed(flit, port):
+                    chosen = port
+                    break
+            if chosen is None:
+                free = [
+                    p
+                    for p in fallback_row[flit.dst]
+                    if p not in assignment and port_allowed(flit, p)
+                ]
+                if free:
+                    chosen = rng.choice(free)
+                    flit.deflections += 1
+            if chosen is None:
+                unplaced.append(flit)
+            else:
+                assignment[chosen] = flit
+        return assignment, unplaced
     for flit in order:
         preferred = prod_row[flit.dst]
-        chosen: Optional[Direction] = None
+        chosen = None
         for port in preferred:
             if (
                 port in ports
@@ -166,9 +206,10 @@ class BackpressurelessRouter(BaseRouter):
             self.rng,
             remaining,
             self._net_ports,
-            port_allowed=lambda _flit, _port: True,
+            port_allowed=_always_allowed,
             sort_key=self._sort_key,
             prod_row=self._prod_row,
+            fallback_row=self._fallback_row,
         )
         if unplaced:
             raise RuntimeError(

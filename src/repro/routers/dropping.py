@@ -98,10 +98,12 @@ class DroppingRouter(BaseRouter):
         escalated.sort(key=lambda f: (f.packet.created_at, f.pid, f.seq))
         self.rng.shuffle(normal)
         order = escalated + normal
+        prod_row = self._prod_row
+        out_channels = self.out_channels
         for flit in order:
             chosen: Optional[Direction] = None
-            for port in self._prod_row[flit.dst]:
-                if port in self.out_channels and port not in assignment:
+            for port in prod_row[flit.dst]:
+                if port in out_channels and port not in assignment:
                     chosen = port
                     break
             if chosen is None:

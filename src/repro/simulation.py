@@ -260,16 +260,18 @@ class Network:
                 self._wake(node, cycle)
         if self._retransmit_heap:
             self._deliver_retransmits(cycle)  # wakes sources via NI hook
-        active = [n for n in range(self._num_nodes) if not asleep[n]]
-        for n in active:
-            routers[n].deliver(cycle)
         # The sorted awake list doubles as a valid min-heap, so routers
         # woken mid-phase (an NI offer from a packet completing at a
         # node the loop has not reached yet) can join this cycle in node
-        # order — matching the naive loop's iteration exactly.
+        # order — matching the naive loop's iteration exactly.  The
+        # buffer is persistent: at saturation every router is awake and
+        # a fresh n-element list per cycle is measurable churn.
         todo = self._todo
         todo.clear()
-        todo.extend(active)
+        for n in range(self._num_nodes):
+            if not asleep[n]:
+                routers[n].deliver(cycle)
+                todo.append(n)
         stepped = self._stepped
         stepped.clear()
         self._in_step_phase = True
@@ -297,12 +299,23 @@ class Network:
     @staticmethod
     def _pipes_empty(router: BaseRouter) -> bool:
         """No flit is in flight toward the router and no backflow
-        (credit / mode notice) is in flight toward it either."""
-        for channel in router.in_channels.values():
-            if channel.flits_in_flight:
+        (credit / mode notice) is in flight toward it either.
+
+        Reads the routers' frozen channel snapshots and the delay
+        lines' deques directly: this runs for every stepped router
+        every cycle, and dict views / property hops showed up in
+        saturation profiles.
+        """
+        in_list = router._in_list
+        out_list = router._out_list
+        if in_list is None or out_list is None:
+            in_list = tuple(router.in_channels.items())
+            out_list = tuple(router.out_channels.items())
+        for _direction, channel in in_list:
+            if channel._flits._items:
                 return False
-        for channel in router.out_channels.values():
-            if channel.backflow_in_flight:
+        for _direction, channel in out_list:
+            if channel._backflow._items:
                 return False
         return True
 

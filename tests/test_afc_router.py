@@ -201,8 +201,11 @@ class TestGossip:
         net = make_network(Design.AFC)
         router = net.router(3)  # west edge: EAST goes to center
         state = router._neighbors[Direction.EAST]
-        state.start_tracking((0, 0, 0))
-        state.credits[VirtualNetwork.CONTROL_REQ] = 0
+        # Occupancy snapshot with the CONTROL_REQ slots full: credit
+        # accounting starts with zero credits on that vnet.
+        state.start_tracking(
+            (state.capacity[VirtualNetwork.CONTROL_REQ], 0, 0)
+        )
         flit = flit_to(dst=5, src=0)  # wants EAST
         router._accept_flit(flit, Direction.WEST, cycle=net.cycle)
         router.step(net.cycle)
@@ -214,11 +217,10 @@ class TestGossip:
 class TestEmergencyBuffering:
     def _exhaust_all_ports(self, net, router):
         for direction, state in router._neighbors.items():
-            state.start_tracking((0, 0, 0))
-            for vnet in VirtualNetwork:
-                state.credits[vnet] = 0
-        # give credits back on vnets the flit does NOT use, so the
-        # gossip metric alone would not have saved it
+            # A fully-occupied snapshot: zero credits on every vnet.
+            state.start_tracking(
+                tuple(state.capacity[vnet] for vnet in VirtualNetwork)
+            )
         return router
 
     def test_unplaceable_flit_is_buffered_not_lost(self):
@@ -242,8 +244,8 @@ class TestEmergencyBuffering:
         backflow = router.in_channels[Direction.EAST]._backflow
         debits = [
             item
-            for _, (kind, item) in backflow._items
-            if kind == "credit" and item.debit
+            for _, item in backflow._items
+            if isinstance(item, CreditMessage) and item.debit
         ]
         assert len(debits) == 1
 

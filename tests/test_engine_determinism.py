@@ -78,6 +78,46 @@ def test_engines_bit_identical(design, rate):
 
 @pytest.mark.parametrize(
     "design",
+    [Design.BACKPRESSURED, Design.BACKPRESSURELESS, Design.AFC],
+    ids=lambda d: d.value,
+)
+def test_engines_bit_identical_at_saturation(design):
+    """Saturated load keeps every router awake and drives the paths the
+    saturation fast path rebuilt: the precomputed deflection-fallback
+    rows (all productive ports taken), AFC's credit-masked allocation
+    and emergency buffering, and the persistent switch-allocation
+    request lists under full contention."""
+    naive = run_scenario(design, "naive", 0.7, 400)
+    active = run_scenario(design, "active", 0.7, 400)
+    assert active == naive
+    assert naive["stats"]["flits_ejected"] > 0
+
+
+def test_engines_bit_identical_at_saturation_8x8():
+    """Same guarantee on a mesh with corner/edge/center port layouts
+    all present at depth — the fallback rows differ per node class."""
+    reset_packet_ids()
+    states = {}
+    for engine in ("naive", "active"):
+        reset_packet_ids()
+        net = Network(
+            NetworkConfig(width=8, height=8),
+            Design.AFC,
+            seed=11,
+            engine=engine,
+        )
+        source = uniform_random_traffic(
+            net, 0.65, seed=5, source_queue_limit=60
+        )
+        source.run(300)
+        net.drain(max_cycles=40_000)
+        net.check_flit_conservation()
+        states[engine] = full_state(net)
+    assert states["active"] == states["naive"]
+
+
+@pytest.mark.parametrize(
+    "design",
     [Design.AFC, Design.BACKPRESSURELESS_DROPPING],
     ids=lambda d: d.value,
 )

@@ -44,11 +44,26 @@ class TestDelayLine:
         assert line.pop_ready(1) == ["a"]
         assert line.pop_ready(10) == []
 
-    def test_peek_is_not_destructive(self):
+    def test_probes_are_not_destructive(self):
         line = DelayLine(1)
         line.push("a", cycle=0)
-        assert line.peek_ready(1) == ["a"]
-        assert line.pop_ready(1) == ["a"]
+        line.push("b", cycle=1)
+        assert not line.has_ready(0)
+        assert line.ready_count(0) == 0
+        assert line.has_ready(1)
+        assert line.ready_count(1) == 1
+        assert line.ready_count(2) == 2
+        assert line.pop_ready(2) == ["a", "b"]
+
+    def test_pop_ready_into_reuses_buffer(self):
+        line = DelayLine(0)
+        line.push("a", cycle=0)
+        line.push("b", cycle=0)
+        buf = []
+        assert line.pop_ready_into(0, buf) == 2
+        assert buf == ["a", "b"]
+        assert line.pop_ready_into(0, buf) == 0  # empty pipe: no-op
+        assert buf == ["a", "b"]
 
     def test_rejects_negative_latency(self):
         with pytest.raises(ValueError):
@@ -118,15 +133,17 @@ class TestChannel:
         credit = CreditMessage(vnet=VirtualNetwork.DATA)
         ch.send_credit(credit, cycle=10)
         assert ch.deliver_backflow(11) == []
-        assert ch.deliver_backflow(12) == [("credit", credit)]
+        assert ch.deliver_backflow(12) == [credit]
 
     def test_mode_notice_shares_backflow(self):
+        # Both message kinds share one pipe, in send order, as bare
+        # objects (receivers dispatch on the concrete type).
         ch = Channel(0, Direction.EAST, 1, link_latency=1)
         notice = ModeNotification(kind=ModeNotice.STOP_CREDITS)
-        ch.send_credit(CreditMessage(vnet=VirtualNetwork.DATA), cycle=0)
+        credit = CreditMessage(vnet=VirtualNetwork.DATA)
+        ch.send_credit(credit, cycle=0)
         ch.send_mode_notice(notice, cycle=0)
-        kinds = [k for k, _ in ch.deliver_backflow(1)]
-        assert kinds == ["credit", "mode"]
+        assert ch.deliver_backflow(1) == [credit, notice]
 
 
 class TestCreditMessage:

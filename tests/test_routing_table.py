@@ -1,0 +1,95 @@
+"""Cross-checks of the precomputed route tables against the route
+functions they replace.
+
+The saturation fast path routes through flat per-mesh tables
+(``routing_tables``); these tests verify, for every ``(node, dst)``
+pair on square and non-square meshes, that the tables agree with the
+direct coordinate-math implementation and with each other (flat storage
+vs per-node rows), and that the deflection-fallback rows are exactly
+the existing non-productive ports in wiring order.
+"""
+
+import pytest
+
+from repro.network.routing import (
+    _productive_ports_computed,
+    _xy_route_computed,
+    is_productive,
+    productive_ports,
+    routing_tables,
+    xy_route,
+)
+from repro.network.topology import Direction, Mesh, network_port_table
+
+MESHES = [Mesh(4, 4), Mesh(8, 8), Mesh(5, 3)]
+
+
+@pytest.mark.parametrize("mesh", MESHES, ids=lambda m: f"{m.width}x{m.height}")
+class TestFlatTables:
+    def test_xy_flat_matches_direct_computation(self, mesh):
+        tables = routing_tables(mesh)
+        n = mesh.num_nodes
+        for cur in range(n):
+            for dst in range(n):
+                expected = _xy_route_computed(mesh, cur, dst)
+                assert tables.xy_flat[cur * n + dst] is expected
+                assert tables.xy[cur][dst] is expected
+                assert xy_route(mesh, cur, dst) is expected
+
+    def test_productive_flat_matches_direct_computation(self, mesh):
+        tables = routing_tables(mesh)
+        n = mesh.num_nodes
+        for cur in range(n):
+            for dst in range(n):
+                expected = _productive_ports_computed(mesh, cur, dst)
+                assert tables.productive_flat[cur * n + dst] == expected
+                assert tables.productive[cur][dst] == expected
+                assert tuple(productive_ports(mesh, cur, dst)) == expected
+
+    def test_productive_entries_reduce_distance(self, mesh):
+        tables = routing_tables(mesh)
+        for cur in range(mesh.num_nodes):
+            for dst in range(mesh.num_nodes):
+                for port in tables.productive[cur][dst]:
+                    assert is_productive(mesh, cur, dst, port)
+
+    def test_dor_port_listed_first(self, mesh):
+        tables = routing_tables(mesh)
+        for cur in range(mesh.num_nodes):
+            for dst in range(mesh.num_nodes):
+                productive = tables.productive[cur][dst]
+                if cur == dst:
+                    assert productive == ()
+                    assert tables.xy[cur][dst] is Direction.LOCAL
+                else:
+                    assert productive[0] is tables.xy[cur][dst]
+
+    def test_fallback_rows_are_nonproductive_ports_in_wiring_order(
+        self, mesh
+    ):
+        tables = routing_tables(mesh)
+        ports = network_port_table(mesh)
+        n = mesh.num_nodes
+        for cur in range(n):
+            for dst in range(n):
+                productive = set(tables.productive[cur][dst])
+                expected = tuple(
+                    p for p in ports[cur] if p not in productive
+                )
+                assert tables.fallback_flat[cur * n + dst] == expected
+                assert tables.fallback[cur][dst] == expected
+
+    def test_fallback_and_productive_partition_the_ports(self, mesh):
+        tables = routing_tables(mesh)
+        ports = network_port_table(mesh)
+        for cur in range(mesh.num_nodes):
+            for dst in range(mesh.num_nodes):
+                productive = tables.productive[cur][dst]
+                fallback = tables.fallback[cur][dst]
+                assert set(productive) | set(fallback) == set(ports[cur])
+                assert set(productive) & set(fallback) == set()
+
+
+def test_tables_are_cached_per_mesh():
+    assert routing_tables(Mesh(4, 4)) is routing_tables(Mesh(4, 4))
+    assert routing_tables(Mesh(4, 4)) is not routing_tables(Mesh(4, 5))
