@@ -1,11 +1,15 @@
 """Command-line interface.
 
-Four subcommands cover the common experiments without writing code::
+Five subcommands cover the common experiments without writing code::
 
     python -m repro run --design afc --workload apache
     python -m repro compare --workload ocean --seeds 2
     python -m repro sweep --rates 0.2 0.4 0.6 0.8
     python -m repro derive-thresholds --rate 0.7
+    python -m repro faults --flap-rate 4 --bit-error-rate 2 --check
+
+``run``, ``compare`` and ``faults`` accept ``--json`` for a
+machine-readable stats dict instead of the table rendering.
 
 All cycle counts are short by default so the CLI answers in seconds;
 raise ``--warmup/--measure/--seeds`` for publication-grade runs (the
@@ -15,15 +19,23 @@ benchmark harness under ``benchmarks/`` does this automatically).
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import enum
+import json
 import sys
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
 from .core.threshold_search import derive_thresholds_empirically
+from .faults import FaultSpec, ProtectionConfig
 from .harness.experiment import ExperimentRunner, MAIN_DESIGNS
 from .harness.reporting import format_normalized_table, format_table
 from .harness.sweep import SweepGrid, run_open_loop_sweep
 from .network.config import Design, NetworkConfig
 from .traffic.workloads import WORKLOADS
+
+#: Designs compared by the resilience experiments (the paper's three
+#: flow-control disciplines).
+FAULT_DESIGNS = (Design.BACKPRESSURED, Design.BACKPRESSURELESS, Design.AFC)
 
 
 def _design(value: str) -> Design:
@@ -44,6 +56,54 @@ def _workload(value: str):
         raise argparse.ArgumentTypeError(
             f"unknown workload {value!r}; choose from: {choices}"
         )
+
+
+def _offered_rate(value: str) -> float:
+    rate = float(value)
+    if not 0.0 < rate <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"offered rate must be in (0, 1] flits/node/cycle, got {value}"
+        )
+    return rate
+
+
+def _nonneg_float(value: str) -> float:
+    parsed = float(value)
+    if parsed < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return parsed
+
+
+def _positive_int(value: str) -> int:
+    parsed = int(value)
+    if parsed <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return parsed
+
+
+def _nonneg_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return parsed
+
+
+def _json_default(obj: Any) -> Any:
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    raise TypeError(f"not JSON serializable: {obj!r}")
+
+
+def _emit_json(payload: Any) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True, default=_json_default))
+
+
+def _result_dict(result: Any) -> dict:
+    """A dataclass result as a JSON-ready dict (enums to values)."""
+    out = {}
+    for key, value in dataclasses.asdict(result).items():
+        out[key] = value.value if isinstance(value, enum.Enum) else value
+    return out
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -68,6 +128,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--base-seed",
+        type=int,
+        default=0,
+        help=(
+            "first per-run seed; runs use base-seed .. base-seed+seeds-1 "
+            "(explicit so results are reproducible at any --jobs count)"
+        ),
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="run under cProfile and print the top 20 cumulative entries",
@@ -82,11 +151,15 @@ def _runner(args: argparse.Namespace) -> ExperimentRunner:
         measure_cycles=args.measure,
         seeds=args.seeds,
         jobs=args.jobs,
+        base_seed=args.base_seed,
     )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     result = _runner(args).run_closed_loop(args.design, args.workload)
+    if args.json:
+        _emit_json(_result_dict(result))
+        return 0
     rows = [
         ["performance (txn/kcycle/core)", f"{result.performance:.3f}"],
         ["energy per transaction (pJ)", f"{result.energy_per_txn:.1f}"],
@@ -114,6 +187,17 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         design: runner.run_closed_loop(design, args.workload)
         for design in MAIN_DESIGNS
     }
+    if args.json:
+        _emit_json(
+            {
+                "workload": args.workload.name,
+                "designs": {
+                    design.value: _result_dict(result)
+                    for design, result in results.items()
+                },
+            }
+        )
+        return 0
     perf = {args.workload.name: {d: r.performance for d, r in results.items()}}
     energy = {
         args.workload.name: {d: r.energy_per_txn for d, r in results.items()}
@@ -169,6 +253,96 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    spec = FaultSpec(
+        seed=args.fault_seed,
+        link_flap_rate=args.flap_rate,
+        flap_duration=args.flap_duration,
+        bit_error_rate=args.bit_error_rate,
+        credit_loss_rate=args.credit_loss_rate,
+        credit_loss_burst=args.credit_loss_burst,
+        link_kills=args.link_kills,
+        router_kills=args.router_kills,
+    )
+    protection = (
+        None
+        if args.no_protection
+        else ProtectionConfig(
+            max_retries=args.max_retries, ack_timeout=args.ack_timeout
+        )
+    )
+    runner = _runner(args)
+    designs = args.designs or list(FAULT_DESIGNS)
+    results = {
+        design: runner.run_faulted(
+            design, args.rate, spec, protection=protection
+        )
+        for design in designs
+    }
+    if args.json:
+        _emit_json(
+            {
+                "spec": dataclasses.asdict(spec),
+                "designs": {
+                    design.value: _result_dict(result)
+                    for design, result in results.items()
+                },
+            }
+        )
+    else:
+        rows = [
+            [
+                design.value,
+                f"{r.delivered_packet_rate:.4f}",
+                f"{r.delivered_flit_rate:.4f}",
+                f"{r.retransmissions:.1f}",
+                f"{r.packets_orphaned:.1f}",
+                f"{r.credit_resyncs:.1f}",
+                f"{r.reroutes:.1f}",
+                f"{r.avg_packet_latency:.1f}",
+                f"{r.drain_cycles:.0f}",
+            ]
+            for design, r in results.items()
+        ]
+        print(
+            format_table(
+                [
+                    "design",
+                    "delivered pkts",
+                    "delivered flits",
+                    "retx",
+                    "orphaned",
+                    "resyncs",
+                    "reroutes",
+                    "latency",
+                    "drain",
+                ],
+                rows,
+                title=(
+                    f"fault resilience at load {args.rate:.2f} "
+                    f"({args.seeds} seed(s); flaps {args.flap_rate}/kcycle, "
+                    f"bit errors {args.bit_error_rate}/kcycle, "
+                    f"credit loss {args.credit_loss_rate}/kcycle, "
+                    f"kills {args.link_kills}L+{args.router_kills}R)"
+                ),
+            )
+        )
+    if args.check:
+        failed = [
+            design.value
+            for design, r in results.items()
+            if r.delivered_packet_rate <= 0.0
+        ]
+        if failed:
+            print(
+                f"FAIL: no packets delivered despite faults for: "
+                f"{', '.join(failed)}",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
 def _cmd_derive_thresholds(args: argparse.Namespace) -> int:
     config = NetworkConfig(width=args.width, height=args.height)
     result = derive_thresholds_empirically(
@@ -211,6 +385,9 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="one design on one workload")
     run.add_argument("--design", type=_design, default=Design.AFC)
     run.add_argument("--workload", type=_workload, default=WORKLOADS["apache"])
+    run.add_argument(
+        "--json", action="store_true", help="emit the full stats dict as JSON"
+    )
     _add_common(run)
     run.set_defaults(func=_cmd_run)
 
@@ -220,22 +397,117 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument(
         "--workload", type=_workload, default=WORKLOADS["apache"]
     )
+    compare.add_argument(
+        "--json", action="store_true", help="emit the full stats dict as JSON"
+    )
     _add_common(compare)
     compare.set_defaults(func=_cmd_compare)
 
     sweep = sub.add_parser("sweep", help="open-loop uniform-random sweep")
     sweep.add_argument(
         "--rates",
-        type=float,
+        type=_offered_rate,
         nargs="+",
         default=[0.2, 0.4, 0.6, 0.8],
-        help="offered loads in flits/node/cycle",
+        help="offered loads in flits/node/cycle, each in (0, 1]",
     )
     sweep.add_argument(
         "--designs", type=_design, nargs="+", default=None
     )
     _add_common(sweep)
     sweep.set_defaults(func=_cmd_sweep)
+
+    faults = sub.add_parser(
+        "faults",
+        help="resilience comparison under a seeded fault schedule",
+    )
+    faults.add_argument(
+        "--rate",
+        type=_offered_rate,
+        default=0.25,
+        help="offered load in flits/node/cycle, in (0, 1]",
+    )
+    faults.add_argument(
+        "--designs", type=_design, nargs="+", default=None
+    )
+    faults.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="fault-schedule seed (salted per run seed)",
+    )
+    faults.add_argument(
+        "--flap-rate",
+        type=_nonneg_float,
+        default=4.0,
+        help="transient link flaps per 1000 cycles (whole network)",
+    )
+    faults.add_argument(
+        "--flap-duration",
+        type=_positive_int,
+        default=30,
+        help="cycles a flapped link stays down",
+    )
+    faults.add_argument(
+        "--bit-error-rate",
+        type=_nonneg_float,
+        default=2.0,
+        help="flit bit-error events per 1000 cycles",
+    )
+    faults.add_argument(
+        "--credit-loss-rate",
+        type=_nonneg_float,
+        default=2.0,
+        help="credit-loss events per 1000 cycles",
+    )
+    faults.add_argument(
+        "--credit-loss-burst",
+        type=_positive_int,
+        default=4,
+        help="credits destroyed per credit-loss event",
+    )
+    faults.add_argument(
+        "--link-kills",
+        type=_nonneg_int,
+        default=0,
+        help="permanent link kills",
+    )
+    faults.add_argument(
+        "--router-kills",
+        type=_nonneg_int,
+        default=0,
+        help="permanent router kills",
+    )
+    faults.add_argument(
+        "--max-retries",
+        type=_nonneg_int,
+        default=4,
+        help="retransmissions before a packet is orphaned",
+    )
+    faults.add_argument(
+        "--ack-timeout",
+        type=_positive_int,
+        default=2_000,
+        help="cycles without completion before source retransmits",
+    )
+    faults.add_argument(
+        "--no-protection",
+        action="store_true",
+        help="inject faults without checksum/retransmission/resync",
+    )
+    faults.add_argument(
+        "--json", action="store_true", help="emit the full stats dict as JSON"
+    )
+    faults.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "exit non-zero unless every design delivers packets despite "
+            "the faults (CI smoke mode)"
+        ),
+    )
+    _add_common(faults)
+    faults.set_defaults(func=_cmd_faults)
 
     derive = sub.add_parser(
         "derive-thresholds",

@@ -1,0 +1,35 @@
+"""Fault injection and resilience (see docs/RESILIENCE.md).
+
+The paper's argument is robustness across *operating conditions*; this
+subsystem adds the other robustness axis — hardware faults — so the
+three flow-control disciplines can be compared under topology damage:
+
+* :mod:`repro.faults.schedule` — deterministic, seeded fault schedules
+  (transient link flaps, permanent link/router kills, flit bit errors,
+  credit-loss events);
+* :mod:`repro.faults.injector` — applies a schedule to a running
+  :class:`~repro.simulation.Network` through hooks that cost a single
+  ``is None`` check when no faults are installed;
+* :mod:`repro.faults.protection` — the protection protocol: per-flit
+  checksum with NACK/retransmission (bounded retry + timeout) at the
+  network interface, credit-timeout resynthesis for credit-tracking
+  routers, and fault-aware route-table patching;
+* :mod:`repro.faults.reroute` — shortest-path route tables over the
+  damaged topology.
+"""
+
+from .injector import FaultInjector
+from .protection import ProtectionConfig, ProtectionLayer
+from .reroute import damaged_route_rows
+from .schedule import FaultEvent, FaultKind, FaultSchedule, FaultSpec
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultSchedule",
+    "FaultSpec",
+    "ProtectionConfig",
+    "ProtectionLayer",
+    "damaged_route_rows",
+]

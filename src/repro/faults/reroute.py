@@ -1,0 +1,118 @@
+"""Route tables for a damaged mesh.
+
+After a permanent link or router kill the injector patches every
+router's frozen route rows (``_xy_row`` / ``_prod_row`` /
+``_fallback_row``, built in ``BaseRouter._cache_tables``) with tables
+computed over the *alive* link graph:
+
+* productive ports are the alive ports that strictly reduce the
+  BFS distance to the destination over alive links (the original
+  dimension-ordered port is listed first when it survives, so the
+  undamaged part of the mesh keeps its XY behaviour bit-for-bit);
+* the XY entry becomes the first patched productive port;
+* fallback keeps *all* physical ports — alive non-productive ports
+  first, dead ports last — so the deflection allocator's invariant
+  (every arriving flit finds a port) is untouched; a flit deflected
+  onto a dead link is corrupted and recovered by retransmission.
+
+Destinations unreachable over alive links keep their original rows:
+traffic headed into a dead region arrives corrupted and is orphaned by
+the protection layer's bounded retry, rather than wedging a router with
+an empty route set.
+
+Patched routes follow shortest paths on the damaged graph and are
+loop-free per destination (distance strictly decreases), but may take
+turns the XY turn model forbids; under extreme backpressured load a
+protocol deadlock is then possible.  The credit-timeout resynthesis in
+the injector doubles as a watchdog for that case.  See
+docs/RESILIENCE.md.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from ..network.routing import routing_tables
+from ..network.topology import Direction, Mesh, network_port_table
+
+_INF = 1 << 30
+
+#: Per-node patched rows: (xy_row, prod_row, fallback_row), each indexed
+#: by destination node exactly like the frozen rows in BaseRouter.
+RouteRows = Tuple[
+    Tuple[Direction, ...],
+    Tuple[Tuple[Direction, ...], ...],
+    Tuple[Tuple[Direction, ...], ...],
+]
+
+
+def damaged_route_rows(
+    mesh: Mesh, dead_pairs: FrozenSet[Tuple[int, int]]
+) -> List[RouteRows]:
+    """Shortest-path route rows avoiding the directed links in
+    ``dead_pairs`` (pairs of node ids, ``(upstream, downstream)``)."""
+    base = routing_tables(mesh)
+    port_table = network_port_table(mesh)
+    n = mesh.num_nodes
+
+    alive: List[List[Tuple[Direction, int]]] = [[] for _ in range(n)]
+    rev: List[List[int]] = [[] for _ in range(n)]
+    for node, d, nbr in mesh.links():
+        if (node, nbr) not in dead_pairs:
+            alive[node].append((d, nbr))
+            rev[nbr].append(node)
+
+    # dist[dst][node]: alive-link hop distance from node to dst.
+    dist: List[List[int]] = []
+    for dst in range(n):
+        row = [_INF] * n
+        row[dst] = 0
+        queue = deque((dst,))
+        while queue:
+            cur = queue.popleft()
+            nxt = row[cur] + 1
+            for pred in rev[cur]:
+                if row[pred] == _INF:
+                    row[pred] = nxt
+                    queue.append(pred)
+        dist.append(row)
+
+    rows: List[RouteRows] = []
+    for node in range(n):
+        ports = port_table[node]
+        alive_ports = {d for d, _nbr in alive[node]}
+        xy_row: List[Direction] = []
+        prod_row: List[Tuple[Direction, ...]] = []
+        fb_row: List[Tuple[Direction, ...]] = []
+        for dst in range(n):
+            if node == dst:
+                prods: Tuple[Direction, ...] = ()
+                xy = Direction.LOCAL
+            else:
+                here = dist[dst][node]
+                found: List[Direction] = []
+                if here < _INF:
+                    for d, nbr in alive[node]:
+                        if dist[dst][nbr] < here:
+                            found.append(d)
+                if found:
+                    base_xy = base.xy[node][dst]
+                    if base_xy in found and found[0] is not base_xy:
+                        found.remove(base_xy)
+                        found.insert(0, base_xy)
+                    prods = tuple(found)
+                    xy = prods[0]
+                else:
+                    # Unreachable (or node itself cut off): keep the
+                    # original geometry rather than an empty route set.
+                    prods = base.productive[node][dst]
+                    xy = base.xy[node][dst]
+            xy_row.append(xy)
+            prod_row.append(prods)
+            fb_row.append(
+                tuple(p for p in ports if p in alive_ports and p not in prods)
+                + tuple(p for p in ports if p not in alive_ports and p not in prods)
+            )
+        rows.append((tuple(xy_row), tuple(prod_row), tuple(fb_row)))
+    return rows

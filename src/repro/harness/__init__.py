@@ -10,6 +10,7 @@
 from .experiment import (
     ClosedLoopResult,
     ExperimentRunner,
+    FaultResult,
     OpenLoopResult,
     MAIN_DESIGNS,
     ENERGY_DESIGNS_LOW_LOAD,
@@ -31,6 +32,7 @@ __all__ = [
     "ClosedLoopResult",
     "ENERGY_DESIGNS_LOW_LOAD",
     "ExperimentRunner",
+    "FaultResult",
     "MAIN_DESIGNS",
     "OpenLoopResult",
     "SweepGrid",

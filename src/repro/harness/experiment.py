@@ -29,6 +29,7 @@ from typing import (
 )
 
 from ..energy.model import EnergyBreakdown
+from ..faults import FaultInjector, FaultSpec, ProtectionConfig
 from ..memsys.system import MemorySystem
 from ..network.config import (
     DEFAULT_MACHINE_CONFIG,
@@ -233,6 +234,84 @@ def _run_open_loop_seed(job: _OpenLoopJob) -> _OpenLoopSample:
     )
 
 
+@dataclass(frozen=True)
+class _FaultJob:
+    """Picklable description of one faulted (seed) run.
+
+    Carries the :class:`FaultSpec` (a recipe), not the expanded
+    schedule: the worker derives the schedule from ``(spec, seed)``
+    alone, so fault experiments are reproducible regardless of which
+    worker process runs which seed (the ``--jobs`` satellite fix)."""
+
+    config: NetworkConfig
+    warmup_cycles: int
+    measure_cycles: int
+    design: Design
+    rate: float
+    spec: FaultSpec
+    protection: Optional[ProtectionConfig]
+    drain_max_cycles: int
+    seed: int
+
+
+@dataclass(frozen=True)
+class _FaultSample:
+    delivered_packet_rate: float
+    delivered_flit_rate: float
+    avg_packet_latency: float
+    throughput: float
+    fault_events: int
+    flits_corrupted: int
+    credits_lost: int
+    retransmissions: int
+    packets_orphaned: int
+    credit_resyncs: int
+    reroutes: int
+    avg_time_to_reroute: float
+    drain_cycles: int
+
+
+def _run_fault_seed(job: _FaultJob) -> _FaultSample:
+    """One faulted open-loop run (module-level so it pickles).
+
+    No mid-run measurement reset: the statistics window covers the
+    whole run including the drain tail, so after draining
+    ``packets_completed == packets_injected - packets_orphaned`` holds
+    exactly and the delivered rates are true fractions.  The warmup
+    merely delays fault onset (the schedule starts at
+    ``warmup_cycles``) so faults hit a loaded network."""
+    reset_packet_ids()
+    net = Network(job.config, job.design, seed=job.seed)
+    schedule = job.spec.schedule(
+        net.mesh,
+        start=job.warmup_cycles,
+        horizon=job.measure_cycles,
+        salt=job.seed,
+    )
+    injector = FaultInjector(net, schedule, protection=job.protection)
+    source = OpenLoopSource(
+        net, job.rate, seed=2000 + job.seed, source_queue_limit=2_000
+    )
+    source.run(job.warmup_cycles + job.measure_cycles)
+    drained = injector.drain(max_cycles=job.drain_max_cycles)
+    stats = net.stats
+    return _FaultSample(
+        delivered_packet_rate=stats.delivered_despite_fault_rate,
+        delivered_flit_rate=stats.delivered_flit_rate,
+        avg_packet_latency=stats.avg_packet_latency,
+        throughput=stats.throughput,
+        fault_events=stats.fault_events,
+        flits_corrupted=stats.flits_corrupted,
+        credits_lost=stats.credits_lost,
+        retransmissions=stats.protection_retransmissions,
+        packets_orphaned=stats.packets_orphaned,
+        credit_resyncs=stats.credit_resyncs,
+        reroutes=stats.reroutes,
+        avg_time_to_reroute=stats.avg_time_to_reroute,
+        drain_cycles=drained,
+    )
+
+
 def _mean_breakdown(parts: Sequence[EnergyBreakdown]) -> EnergyBreakdown:
     n = len(parts)
     return EnergyBreakdown(
@@ -272,6 +351,31 @@ class ClosedLoopResult:
 
 
 @dataclass
+class FaultResult:
+    """Multi-seed summary of one (design, rate, fault-spec) run."""
+
+    design: Design
+    offered_rate: float
+    seeds: int
+    #: Fraction of offered packets delivered (exactly once) by the end
+    #: of the drain — the headline resilience metric.
+    delivered_packet_rate: float
+    #: Fraction of offered flits belonging to completed packets.
+    delivered_flit_rate: float
+    avg_packet_latency: float
+    throughput: float
+    fault_events: float
+    flits_corrupted: float
+    credits_lost: float
+    retransmissions: float
+    packets_orphaned: float
+    credit_resyncs: float
+    reroutes: float
+    avg_time_to_reroute: float
+    drain_cycles: float
+
+
+@dataclass
 class OpenLoopResult:
     """Multi-seed summary of one (design, rate, pattern) open-loop run."""
 
@@ -304,6 +408,7 @@ class ExperimentRunner:
         measure_cycles: int = 10_000,
         seeds: int = 2,
         jobs: int = 1,
+        base_seed: int = 0,
     ) -> None:
         self.config = config if config is not None else NetworkConfig()
         self.machine = machine
@@ -313,6 +418,14 @@ class ExperimentRunner:
         #: Worker processes for the per-seed runs; 1 = serial.  Results
         #: are bit-identical at any job count (see :func:`map_jobs`).
         self.jobs = jobs
+        #: First per-run seed; runs use ``base_seed .. base_seed+seeds-1``.
+        #: Explicit so every RNG stream (traffic, per-router, fault
+        #: schedules) derives from the job description alone — worker
+        #: scheduling can never shift which seed a run gets.
+        self.base_seed = base_seed
+
+    def _seed_range(self) -> range:
+        return range(self.base_seed, self.base_seed + self.seeds)
 
     # -- closed loop ----------------------------------------------------------
     def run_closed_loop(
@@ -330,7 +443,7 @@ class ExperimentRunner:
                     workload=workload,
                     seed=seed,
                 )
-                for seed in range(self.seeds)
+                for seed in self._seed_range()
             ],
             self.jobs,
         )
@@ -404,7 +517,7 @@ class ExperimentRunner:
                     source_queue_limit=source_queue_limit,
                     seed=seed,
                 )
-                for seed in range(self.seeds)
+                for seed in self._seed_range()
             ],
             self.jobs,
         )
@@ -449,4 +562,73 @@ class ExperimentRunner:
                 name: statistics.fmean(vals)
                 for name, vals in group_sums.items()
             },
+        )
+
+    # -- faulted runs ----------------------------------------------------------
+    def run_faulted(
+        self,
+        design: Design,
+        rate: float,
+        spec: FaultSpec,
+        protection: Optional[ProtectionConfig] = ProtectionConfig(),
+        drain_max_cycles: int = 200_000,
+    ) -> FaultResult:
+        """Open-loop uniform-random traffic under a seeded fault spec.
+
+        Each seed expands the spec into its own schedule (salted by the
+        run seed), runs warmup + measurement with faults active from
+        the end of warmup, then drains until the protection ledger is
+        empty — so ``delivered_packet_rate`` is exact, not
+        window-censored."""
+        samples = map_jobs(
+            _run_fault_seed,
+            [
+                _FaultJob(
+                    config=self.config,
+                    warmup_cycles=self.warmup_cycles,
+                    measure_cycles=self.measure_cycles,
+                    design=design,
+                    rate=rate,
+                    spec=spec,
+                    protection=protection,
+                    drain_max_cycles=drain_max_cycles,
+                    seed=seed,
+                )
+                for seed in self._seed_range()
+            ],
+            self.jobs,
+        )
+        return FaultResult(
+            design=design,
+            offered_rate=rate,
+            seeds=self.seeds,
+            delivered_packet_rate=statistics.fmean(
+                s.delivered_packet_rate for s in samples
+            ),
+            delivered_flit_rate=statistics.fmean(
+                s.delivered_flit_rate for s in samples
+            ),
+            avg_packet_latency=statistics.fmean(
+                s.avg_packet_latency for s in samples
+            ),
+            throughput=statistics.fmean(s.throughput for s in samples),
+            fault_events=statistics.fmean(s.fault_events for s in samples),
+            flits_corrupted=statistics.fmean(
+                s.flits_corrupted for s in samples
+            ),
+            credits_lost=statistics.fmean(s.credits_lost for s in samples),
+            retransmissions=statistics.fmean(
+                s.retransmissions for s in samples
+            ),
+            packets_orphaned=statistics.fmean(
+                s.packets_orphaned for s in samples
+            ),
+            credit_resyncs=statistics.fmean(
+                s.credit_resyncs for s in samples
+            ),
+            reroutes=statistics.fmean(s.reroutes for s in samples),
+            avg_time_to_reroute=statistics.fmean(
+                s.avg_time_to_reroute for s in samples
+            ),
+            drain_cycles=statistics.fmean(s.drain_cycles for s in samples),
         )

@@ -35,6 +35,13 @@ class NetworkInterface:
         #: Notifies the active-set cycle engine that this node gained
         #: injectable work (set by the engine; None under the naive loop).
         self.on_activity: Optional[Callable[[], None]] = None
+        #: Optional checksum guard on the ejection port (the protection
+        #: layer of repro.faults).  ``guard.accept_flit`` returning
+        #: False discards the flit (it still counts for conservation).
+        self.guard = None
+        #: Optional observer of every completed packet, called before
+        #: the packet is handed to the client (protection-layer ledger).
+        self.on_complete: Optional[Callable[[CompletedPacket], None]] = None
         self._queues: Dict[VirtualNetwork, Deque[Flit]] = {
             vnet: deque() for vnet in VirtualNetwork
         }
@@ -80,24 +87,32 @@ class NetworkInterface:
         flit.injected_at = cycle
         return flit
 
-    def offer_retransmission(self, packet: Packet) -> int:
-        """Re-queue a dropped packet in full (dropping flow control).
+    def offer_retransmission(self, packet: Packet, purge: bool = True) -> int:
+        """Re-queue a dropped packet in full (retransmission paths).
 
         The packet's epoch was bumped when it was dropped; fresh flits
         carry the new epoch so the destination discards any stale
-        leftovers of the earlier attempt.  Stale flits of this packet
-        still waiting in the source queue are purged (the source does
-        not waste injection bandwidth on a superseded attempt); the
-        number purged is returned so the network can account for them
-        in its conservation ledger.  Retransmissions count toward the
+        leftovers of the earlier attempt.  With ``purge`` (dropping
+        flow control), stale flits of this packet still waiting in the
+        source queue are removed (the source does not waste injection
+        bandwidth on a superseded attempt); the number purged is
+        returned so the network can account for them in its
+        conservation ledger.  The protection layer of ``repro.faults``
+        passes ``purge=False``: the backpressured router streams a
+        packet's flits into a local VC one per cycle, and removing
+        queued flits mid-stream would decapitate a partially injected
+        packet — stale flits instead drain in order and are discarded
+        at the destination.  Retransmissions count toward the
         conservation totals (new flit objects enter the network) but
         not toward the injection-rate statistics, which measure offered
         *useful* load."""
         queue = self._queues[packet.vnet]
-        kept = [f for f in queue if f.pid != packet.pid]
-        purged = len(queue) - len(kept)
-        queue.clear()
-        queue.extend(kept)
+        purged = 0
+        if purge:
+            kept = [f for f in queue if f.pid != packet.pid]
+            purged = len(queue) - len(kept)
+            queue.clear()
+            queue.extend(kept)
         self.flits_offered_total += packet.num_flits
         for flit in packet.flits():
             queue.append(flit)
@@ -127,11 +142,15 @@ class NetworkInterface:
         toward goodput statistics.
         """
         self.flits_ejected_total += 1
+        if self.guard is not None and not self.guard.accept_flit(self, flit, cycle):
+            return
         if flit.epoch >= flit.packet.epoch:
             self.stats.record_flit_ejected(self.node)
         done = self.reassembly.accept(flit, cycle)
         if done is None:
             return
+        if self.on_complete is not None:
+            self.on_complete(done)
         self.stats.record_packet_complete(
             done.packet,
             completed_at=done.completed_at,

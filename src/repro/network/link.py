@@ -184,6 +184,7 @@ class Channel:
         "flit_traversals",
         "wake_flit",
         "wake_backflow",
+        "fault",
     )
 
     def __init__(
@@ -209,11 +210,18 @@ class Channel:
         #: the pushed item becomes deliverable.
         self.wake_flit: Optional[Callable[[int], None]] = None
         self.wake_backflow: Optional[Callable[[int], None]] = None
+        #: Optional fault state installed by repro.faults.FaultInjector.
+        #: The zero-fault hot path pays exactly one ``is None`` check
+        #: per send.  Mode notifications travel on the dedicated one-bit
+        #: control line and are assumed protected (never faulted).
+        self.fault = None
 
     # -- forward (flit) direction -----------------------------------------
     def send_flit(self, flit: Flit, cycle: int) -> None:
         flit.hops += 1
         self.flit_traversals += 1
+        if self.fault is not None:
+            self.fault.on_send_flit(flit, cycle)
         self._flits.push(flit, cycle)
         if self.wake_flit is not None:
             self.wake_flit(cycle + self._flits.latency)
@@ -227,6 +235,8 @@ class Channel:
 
     # -- backflow direction -------------------------------------------------
     def send_credit(self, credit: CreditMessage, cycle: int) -> None:
+        if self.fault is not None and self.fault.on_send_credit(credit, cycle):
+            return
         self._backflow.push(credit, cycle)
         if self.wake_backflow is not None:
             self.wake_backflow(cycle + self._backflow.latency)

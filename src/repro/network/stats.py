@@ -77,6 +77,18 @@ class StatsCollector:
         self.per_node_ejected: DefaultDict[int, int] = defaultdict(int)
         self.per_node_latency_sum: DefaultDict[int, int] = defaultdict(int)
         self.per_node_completed: DefaultDict[int, int] = defaultdict(int)
+        # Resilience counters (repro.faults); all stay zero without an
+        # installed FaultInjector.
+        self.fault_events = 0
+        self.flits_corrupted = 0
+        self.corrupt_flits_discarded = 0
+        self.credits_lost = 0
+        self.protection_retransmissions = 0
+        self.packets_orphaned = 0
+        self.flits_orphaned = 0
+        self.credit_resyncs = 0
+        self.reroutes = 0
+        self.reroute_cycles_sum = 0
 
     def tick(self) -> None:
         """Advance the measurement window by one simulated cycle."""
@@ -121,6 +133,43 @@ class StatsCollector:
         """A contention drop (the flit will be retransmitted)."""
         self.flits_dropped += count
 
+    # -- resilience (repro.faults) -----------------------------------------
+    def record_fault_event(self) -> None:
+        self.fault_events += 1
+
+    def record_flit_corrupted(self) -> None:
+        """A fault scrambled a flit in flight; the checksum at the
+        destination NI will flag it."""
+        self.flits_corrupted += 1
+
+    def record_corrupt_flit_discarded(self) -> None:
+        """The destination NI's checksum caught a corrupted flit."""
+        self.corrupt_flits_discarded += 1
+
+    def record_credit_lost(self) -> None:
+        """A credit message was destroyed on a faulty backflow pipe."""
+        self.credits_lost += 1
+
+    def record_protection_retransmission(self) -> None:
+        """The protection layer re-offered a packet after a NACK or
+        acknowledgement timeout."""
+        self.protection_retransmissions += 1
+
+    def record_packet_orphaned(self, num_flits: int) -> None:
+        """A packet exhausted its retry budget and was abandoned."""
+        self.packets_orphaned += 1
+        self.flits_orphaned += num_flits
+
+    def record_credit_resync(self, count: int = 1) -> None:
+        """Credit-timeout resynthesis repaired a credit counter or a
+        stuck VC-busy latch."""
+        self.credit_resyncs += count
+
+    def record_reroute(self, delay_cycles: int) -> None:
+        """Route tables were patched around dead topology."""
+        self.reroutes += 1
+        self.reroute_cycles_sum += delay_cycles
+
     # -- derived metrics -----------------------------------------------------
     @property
     def avg_packet_latency(self) -> float:
@@ -164,6 +213,29 @@ class StatsCollector:
         if not self.cycles:
             return 0.0
         return self.flits_ejected / (self.num_nodes * self.cycles)
+
+    @property
+    def delivered_despite_fault_rate(self) -> float:
+        """Fraction of offered packets delivered within the window —
+        the headline resilience metric (meaningful after draining)."""
+        if not self.packets_injected:
+            return 0.0
+        return self.packets_completed / self.packets_injected
+
+    @property
+    def delivered_flit_rate(self) -> float:
+        """Fraction of offered flits that reached their destination as
+        part of a completed packet."""
+        if not self.flits_injected:
+            return 0.0
+        return self.completed_flits / self.flits_injected
+
+    @property
+    def avg_time_to_reroute(self) -> float:
+        """Mean cycles between a permanent kill and the route patch."""
+        if not self.reroutes:
+            return 0.0
+        return self.reroute_cycles_sum / self.reroutes
 
     def latency_percentile(self, pct: float) -> float:
         """The ``pct``-th percentile of packet latency (0 < pct <= 100)."""

@@ -137,6 +137,10 @@ class Network:
         #: Flits that vanished at a dropping router (their packet is
         #: resent in full); part of the conservation ledger.
         self.flits_discarded = 0
+        #: Optional per-cycle hook run before the deliver phase, called
+        #: with the cycle number (repro.faults.FaultInjector).  One
+        #: ``is None`` check per cycle when absent.
+        self.pre_step_hook: Optional[Callable[[int], None]] = None
         for router in self.routers:
             if isinstance(router, DroppingRouter):
                 router.drop_notify = self._packet_dropped
@@ -226,6 +230,8 @@ class Network:
     # -- cycle loop -----------------------------------------------------------
     def step(self) -> None:
         """Advance the network by one cycle."""
+        if self.pre_step_hook is not None:
+            self.pre_step_hook(self.cycle)
         if self.engine == "active":
             self._step_fast()
         else:

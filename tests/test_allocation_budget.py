@@ -25,6 +25,7 @@ import tracemalloc
 
 import pytest
 
+from repro.faults import FaultInjector, FaultSchedule
 from repro.network.config import Design, NetworkConfig
 from repro.simulation import Network
 from repro.traffic.synthetic import uniform_random_traffic
@@ -41,10 +42,12 @@ RETAINED_BUDGET_PER_CYCLE = 32 * 1024
 TRANSIENT_BUDGET = 128 * 1024
 
 
-def _trace_steady_state(design: Design):
+def _trace_steady_state(design: Design, with_injector: bool = False):
     net = Network(
         NetworkConfig(width=8, height=8), design, seed=1, engine="active"
     )
+    if with_injector:
+        FaultInjector(net, FaultSchedule.empty())
     source = uniform_random_traffic(
         net, RATE, seed=7, source_queue_limit=32
     )
@@ -80,4 +83,29 @@ def test_steady_state_allocations_within_budget(design):
         f"{design.value}: transient high-water {transient:.0f} B above "
         f"final retained exceeds the {TRANSIENT_BUDGET} B budget — "
         "per-cycle temporary churn has returned to the hot path"
+    )
+
+
+@pytest.mark.parametrize(
+    "design",
+    [Design.BACKPRESSURED, Design.BACKPRESSURELESS, Design.AFC],
+    ids=lambda d: d.value,
+)
+def test_disabled_faults_hot_path_within_same_budget(design):
+    """An installed-but-idle fault injector (empty schedule, protection
+    enabled) must fit the *same* budgets as the bare network: its hooks
+    are a ledger insert/pop per packet and constant-work per-cycle
+    checks, never per-cycle allocations."""
+    retained_per_cycle, transient = _trace_steady_state(
+        design, with_injector=True
+    )
+    assert retained_per_cycle < RETAINED_BUDGET_PER_CYCLE, (
+        f"{design.value}+injector: retained {retained_per_cycle:.0f} "
+        f"B/cycle exceeds the {RETAINED_BUDGET_PER_CYCLE} B/cycle budget "
+        "— the disabled-faults path is allocating per cycle"
+    )
+    assert transient < TRANSIENT_BUDGET, (
+        f"{design.value}+injector: transient high-water {transient:.0f} B "
+        f"exceeds the {TRANSIENT_BUDGET} B budget — the disabled-faults "
+        "path has added per-cycle churn"
     )

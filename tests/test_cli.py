@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -23,6 +25,45 @@ class TestParser:
         assert args.design.value == "afc"
         assert args.workload.name == "apache"
         assert args.seeds == 1
+
+    @pytest.mark.parametrize("rate", ["-0.1", "0", "1.5", "nan"])
+    def test_invalid_sweep_rates_rejected(self, rate):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--rates", rate])
+
+    def test_unknown_sweep_design_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--designs", "token-ring"])
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["faults", "--rate", "0"],
+            ["faults", "--rate", "2"],
+            ["faults", "--flap-rate", "-1"],
+            ["faults", "--flap-duration", "0"],
+            ["faults", "--bit-error-rate", "-0.5"],
+            ["faults", "--credit-loss-rate", "-2"],
+            ["faults", "--credit-loss-burst", "0"],
+            ["faults", "--link-kills", "-1"],
+            ["faults", "--router-kills", "-3"],
+            ["faults", "--max-retries", "-1"],
+            ["faults", "--ack-timeout", "0"],
+            ["faults", "--designs", "nonsense"],
+        ],
+        ids=lambda argv: " ".join(argv[1:]),
+    )
+    def test_invalid_fault_arguments_rejected(self, argv):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(argv)
+
+    def test_fault_defaults(self):
+        args = build_parser().parse_args(["faults"])
+        assert args.rate == 0.25
+        assert args.flap_rate == 4.0
+        assert args.max_retries == 4
+        assert not args.no_protection
+        assert not args.json
 
 
 class TestCommands:
@@ -70,3 +111,80 @@ class TestCommands:
         assert code == 0
         assert "corner" in out
         assert "center" in out
+
+    def test_faults_table_and_check(self, capsys):
+        code = main(
+            [
+                "faults",
+                "--flap-rate", "4",
+                "--bit-error-rate", "2",
+                "--credit-loss-rate", "2",
+                "--check",
+            ]
+            + self.FAST
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fault resilience" in out
+        assert "delivered pkts" in out
+        for design in ("backpressured", "backpressureless", "afc"):
+            assert design in out
+
+    def test_faults_single_design_no_protection(self, capsys):
+        code = main(
+            [
+                "faults",
+                "--designs", "backpressureless",
+                "--bit-error-rate", "3",
+                "--no-protection",
+            ]
+            + self.FAST
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "backpressureless" in out
+        assert "backpressured " not in out
+
+
+class TestJsonOutput:
+    """``--json`` emits the full stats dict, round-trippable."""
+
+    FAST = ["--warmup", "300", "--measure", "800", "--seeds", "1"]
+
+    def test_run_json_round_trip(self, capsys):
+        code = main(["run", "--workload", "water", "--json"] + self.FAST)
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["design"] == "afc"
+        assert payload["workload"] == "water"
+        assert payload["performance"] > 0
+        assert payload["seeds"] == 1
+
+    def test_compare_json_round_trip(self, capsys):
+        code = main(["compare", "--workload", "water", "--json"] + self.FAST)
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload"] == "water"
+        assert set(payload["designs"]) >= {"backpressured", "afc"}
+        for stats in payload["designs"].values():
+            assert stats["performance"] > 0
+
+    def test_faults_json_round_trip(self, capsys):
+        code = main(
+            [
+                "faults",
+                "--flap-rate", "4",
+                "--bit-error-rate", "2",
+                "--json",
+                "--check",
+            ]
+            + self.FAST
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"]["link_flap_rate"] == 4.0
+        designs = payload["designs"]
+        assert set(designs) == {"backpressured", "backpressureless", "afc"}
+        for stats in designs.values():
+            assert stats["delivered_packet_rate"] > 0.9
+            assert stats["design"] in designs
