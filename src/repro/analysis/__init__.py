@@ -7,7 +7,11 @@
 * :mod:`repro.analysis.report` — one-call summary report for a finished
   simulation;
 * :mod:`repro.analysis.analytic` — closed-form latency and saturation
-  models that cross-validate the simulator's timing.
+  models that cross-validate the simulator's timing;
+* :mod:`repro.analysis.simlint` — static determinism/hygiene lint over
+  the simulator sources (``repro lint``);
+* :mod:`repro.analysis.sanitizer` — opt-in per-cycle NoC invariant
+  checker (``repro run --sanitize``).
 """
 
 from .analytic import (
@@ -23,12 +27,18 @@ from .analytic import (
 from .histogram import Histogram, build_histogram, latency_histogram
 from .probes import ChannelUtilization, TimeSeriesProbe, channel_utilization
 from .report import simulation_report
+from .sanitizer import InvariantViolation, Sanitizer
+from .simlint import LintReport, lint_paths
 
 __all__ = [
     "ChannelUtilization",
     "Histogram",
+    "InvariantViolation",
+    "LintReport",
+    "Sanitizer",
     "SaturationBound",
     "TimeSeriesProbe",
+    "lint_paths",
     "build_histogram",
     "channel_utilization",
     "estimated_latency",

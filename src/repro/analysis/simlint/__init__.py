@@ -1,0 +1,132 @@
+"""``simlint`` — static determinism / hot-path hygiene lint for the
+simulator (layer 1 of the ``simcheck`` tooling; layer 2 is the runtime
+sanitizer in :mod:`repro.analysis.sanitizer`).
+
+Usage::
+
+    from repro.analysis.simlint import lint_paths
+    report = lint_paths(["src/repro"])
+    for violation in report.violations:
+        print(violation.render())
+
+or from the CLI: ``repro lint [--json] [--check] [paths ...]``.
+
+See docs/ANALYSIS.md for the rule table and suppression syntax.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .checkers import Violation, check_source, collect_comment_directives
+from .rules import (
+    DEFAULT_CONFIG,
+    RULES,
+    RULES_BY_ID,
+    LintConfig,
+    Rule,
+)
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "LintConfig",
+    "LintReport",
+    "Rule",
+    "RULES",
+    "RULES_BY_ID",
+    "Violation",
+    "check_source",
+    "collect_comment_directives",
+    "lint_file",
+    "lint_paths",
+]
+
+
+@dataclass
+class LintReport:
+    """Aggregate result of linting a set of paths."""
+
+    violations: List[Violation] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.parse_errors
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.rule] = counts.get(violation.rule, 0) + 1
+        return counts
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "files_checked": self.files_checked,
+            "violations": [v.to_dict() for v in self.violations],
+            "counts_by_rule": self.counts_by_rule(),
+            "parse_errors": list(self.parse_errors),
+            "ok": self.ok,
+        }
+
+    def render(self, summary_only: bool = False) -> str:
+        lines: List[str] = []
+        if not summary_only:
+            lines.extend(v.render() for v in self.violations)
+            lines.extend(self.parse_errors)
+        counts = self.counts_by_rule()
+        if counts:
+            breakdown = ", ".join(
+                f"{rule}={count}" for rule, count in sorted(counts.items())
+            )
+            lines.append(
+                f"simlint: {len(self.violations)} violation(s) in "
+                f"{self.files_checked} file(s) ({breakdown})"
+            )
+        else:
+            lines.append(
+                f"simlint: clean — {self.files_checked} file(s), "
+                "0 violations"
+            )
+        return "\n".join(lines)
+
+
+def _iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(
+                p
+                for p in path.rglob("*.py")
+                if "__pycache__" not in p.parts
+            )
+        else:
+            yield path
+
+
+def lint_file(
+    path: "Path | str", config: LintConfig = DEFAULT_CONFIG
+) -> List[Violation]:
+    """Lint a single file; returns its unsuppressed violations."""
+    path = Path(path)
+    source = path.read_text(encoding="utf-8")
+    return check_source(source, str(path), path.as_posix(), config)
+
+
+def lint_paths(
+    paths: Sequence["Path | str"],
+    config: LintConfig = DEFAULT_CONFIG,
+) -> LintReport:
+    """Lint files and directories (recursively) into one report."""
+    report = LintReport()
+    for file_path in _iter_python_files([Path(p) for p in paths]):
+        report.files_checked += 1
+        try:
+            report.violations.extend(lint_file(file_path, config))
+        except SyntaxError as exc:
+            report.parse_errors.append(
+                f"{file_path}:{exc.lineno or 0}: parse-error: {exc.msg}"
+            )
+    report.violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return report

@@ -1,0 +1,165 @@
+"""Rule registry and configuration for the ``simlint`` static pass.
+
+Every rule has a stable kebab-case id (used in reports and in
+``# simlint: disable=<id>`` suppressions) and a *scope* that limits
+where it applies:
+
+* ``all`` — every linted file.  Determinism hazards are never
+  acceptable in simulation code, wherever they live.
+* ``network`` — router/network/core modules and ``simulation.py``
+  only (matched by path, see :attr:`LintConfig.network_path_markers`).
+  Iteration-order hazards only corrupt results where per-cycle
+  iteration order feeds the simulation, so harness/analysis code is
+  exempt.
+* ``hotpath`` — classes registered in the hot-path allowlist
+  (:attr:`LintConfig.hot_path_classes`) or marked in source with a
+  ``# simlint: hot-path`` comment on their ``class`` line.
+
+See docs/ANALYSIS.md for the full rule table with rationale and
+examples, and for how to add a rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping, Tuple
+
+#: Scope names understood by the engine.
+SCOPE_ALL = "all"
+SCOPE_NETWORK = "network"
+SCOPE_HOTPATH = "hotpath"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Metadata for one lint rule."""
+
+    id: str
+    scope: str
+    summary: str
+
+
+#: The rule registry, in reporting order.
+RULES: Tuple[Rule, ...] = (
+    Rule(
+        "unseeded-random",
+        SCOPE_ALL,
+        "random.Random() constructed without an explicit seed",
+    ),
+    Rule(
+        "module-random",
+        SCOPE_ALL,
+        "module-level random.* used (shared global RNG stream)",
+    ),
+    Rule(
+        "numpy-random",
+        SCOPE_ALL,
+        "numpy.random used (global or platform-dependent RNG state)",
+    ),
+    Rule(
+        "wallclock",
+        SCOPE_ALL,
+        "time/datetime/os.urandom used in simulation code",
+    ),
+    Rule(
+        "set-iteration",
+        SCOPE_NETWORK,
+        "iteration over a set (hash order) in router/network code",
+    ),
+    Rule(
+        "dict-mutation",
+        SCOPE_NETWORK,
+        "container mutated while being iterated",
+    ),
+    Rule(
+        "float-equality",
+        SCOPE_ALL,
+        "float compared with == / != (threshold/EWMA hazards)",
+    ),
+    Rule(
+        "missing-slots",
+        SCOPE_HOTPATH,
+        "registered hot-path class does not define __slots__",
+    ),
+    Rule(
+        "attr-outside-init",
+        SCOPE_ALL,
+        "attribute created outside __init__ on a slotted class",
+    ),
+)
+
+RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in RULES}
+
+ALL_RULE_IDS: FrozenSet[str] = frozenset(RULES_BY_ID)
+
+
+#: Classes on the per-cycle hot path that must be ``__slots__`` classes
+#: (or ``@dataclass(slots=True)``).  Keyed by a posix path *suffix* of
+#: the defining module; additions to the hot path belong here (or mark
+#: the class in source with ``# simlint: hot-path``).
+DEFAULT_HOT_PATH_CLASSES: Mapping[str, FrozenSet[str]] = {
+    "network/flit.py": frozenset({"Flit", "Packet"}),
+    "network/link.py": frozenset(
+        {"DelayLine", "Channel", "CreditMessage", "ModeNotification"}
+    ),
+    "network/interface.py": frozenset({"NetworkInterface"}),
+    "network/reassembly.py": frozenset(
+        {"_PendingPacket", "ReassemblyBuffer"}
+    ),
+    "core/lazy_vc.py": frozenset({"LazyInputPort", "NeighborCreditState"}),
+    "core/mode_controller.py": frozenset({"ModeController"}),
+    "routers/backpressured.py": frozenset(
+        {
+            "VirtualChannelBuffer",
+            "_DownstreamVC",
+            "_OutputPortState",
+            "_InputPort",
+        }
+    ),
+    "faults/injector.py": frozenset({"ChannelFault"}),
+}
+
+
+#: Path fragments that put a file in the ``network`` scope.
+DEFAULT_NETWORK_PATH_MARKERS: Tuple[str, ...] = (
+    "/network/",
+    "/routers/",
+    "/core/",
+    "simulation.py",
+)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Tunable lint policy (scopes, allowlists, rule selection)."""
+
+    #: Rules to run (defaults to every registered rule).
+    enabled_rules: FrozenSet[str] = ALL_RULE_IDS
+    #: Posix-path fragments selecting the ``network`` scope.
+    network_path_markers: Tuple[str, ...] = DEFAULT_NETWORK_PATH_MARKERS
+    #: Hot-path class allowlist: posix path suffix -> class names.
+    hot_path_classes: Mapping[str, FrozenSet[str]] = field(
+        default_factory=lambda: dict(DEFAULT_HOT_PATH_CLASSES)
+    )
+
+    def rule_applies(self, rule_id: str, posix_path: str) -> bool:
+        """True when ``rule_id`` is enabled and in scope for the file."""
+        if rule_id not in self.enabled_rules:
+            return False
+        rule = RULES_BY_ID[rule_id]
+        if rule.scope == SCOPE_NETWORK:
+            return any(
+                marker in posix_path
+                for marker in self.network_path_markers
+            )
+        return True
+
+    def registered_hot_path(self, posix_path: str) -> FrozenSet[str]:
+        """Class names the allowlist registers for ``posix_path``."""
+        for suffix, names in self.hot_path_classes.items():
+            if posix_path.endswith(suffix):
+                return names
+        return frozenset()
+
+
+DEFAULT_CONFIG = LintConfig()

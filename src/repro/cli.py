@@ -1,15 +1,18 @@
 """Command-line interface.
 
-Five subcommands cover the common experiments without writing code::
+Six subcommands cover the common experiments without writing code::
 
     python -m repro run --design afc --workload apache
     python -m repro compare --workload ocean --seeds 2
     python -m repro sweep --rates 0.2 0.4 0.6 0.8
     python -m repro derive-thresholds --rate 0.7
     python -m repro faults --flap-rate 4 --bit-error-rate 2 --check
+    python -m repro lint --check
 
 ``run``, ``compare`` and ``faults`` accept ``--json`` for a
-machine-readable stats dict instead of the table rendering.
+machine-readable stats dict instead of the table rendering.  ``run``
+and ``compare`` accept ``--sanitize`` to run the per-cycle invariant
+sanitizer (docs/ANALYSIS.md) alongside the simulation.
 
 All cycle counts are short by default so the CLI answers in seconds;
 raise ``--warmup/--measure/--seeds`` for publication-grade runs (the
@@ -23,8 +26,10 @@ import dataclasses
 import enum
 import json
 import sys
+from pathlib import Path
 from typing import Any, List, Optional, Sequence
 
+from .analysis.sanitizer import InvariantViolation
 from .core.threshold_search import derive_thresholds_empirically
 from .faults import FaultSpec, ProtectionConfig
 from .harness.experiment import ExperimentRunner, MAIN_DESIGNS
@@ -152,11 +157,18 @@ def _runner(args: argparse.Namespace) -> ExperimentRunner:
         seeds=args.seeds,
         jobs=args.jobs,
         base_seed=args.base_seed,
+        sanitize=getattr(args, "sanitize", False),
     )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    result = _runner(args).run_closed_loop(args.design, args.workload)
+    try:
+        result = _runner(args).run_closed_loop(args.design, args.workload)
+    except InvariantViolation as exc:
+        print(f"sanitizer: {exc}", file=sys.stderr)
+        return 2
+    if args.sanitize and not args.json:
+        print("sanitizer: enabled, no invariant violations")
     if args.json:
         _emit_json(_result_dict(result))
         return 0
@@ -183,10 +195,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     runner = _runner(args)
-    results = {
-        design: runner.run_closed_loop(design, args.workload)
-        for design in MAIN_DESIGNS
-    }
+    try:
+        results = {
+            design: runner.run_closed_loop(design, args.workload)
+            for design in MAIN_DESIGNS
+        }
+    except InvariantViolation as exc:
+        print(f"sanitizer: {exc}", file=sys.stderr)
+        return 2
+    if args.sanitize and not args.json:
+        print("sanitizer: enabled, no invariant violations")
     if args.json:
         _emit_json(
             {
@@ -343,6 +361,23 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis.simlint import lint_paths
+
+    paths = args.paths
+    if not paths:
+        # Default target: the installed repro package source tree.
+        import repro
+
+        paths = [str(Path(repro.__file__).parent)]
+    report = lint_paths(paths)
+    if args.json:
+        _emit_json(report.to_dict())
+    else:
+        print(report.render(summary_only=args.check))
+    return 0 if report.ok else 1
+
+
 def _cmd_derive_thresholds(args: argparse.Namespace) -> int:
     config = NetworkConfig(width=args.width, height=args.height)
     result = derive_thresholds_empirically(
@@ -388,6 +423,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--json", action="store_true", help="emit the full stats dict as JSON"
     )
+    run.add_argument(
+        "--sanitize",
+        action="store_true",
+        help=(
+            "check per-cycle NoC invariants (flit conservation, credit "
+            "agreement, mode legality) during the run; exit 2 on violation"
+        ),
+    )
     _add_common(run)
     run.set_defaults(func=_cmd_run)
 
@@ -399,6 +442,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare.add_argument(
         "--json", action="store_true", help="emit the full stats dict as JSON"
+    )
+    compare.add_argument(
+        "--sanitize",
+        action="store_true",
+        help=(
+            "check per-cycle NoC invariants during every run; exit 2 on "
+            "violation"
+        ),
     )
     _add_common(compare)
     compare.set_defaults(func=_cmd_compare)
@@ -508,6 +559,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(faults)
     faults.set_defaults(func=_cmd_faults)
+
+    lint = sub.add_parser(
+        "lint",
+        help="static determinism / hot-path hygiene lint (simlint)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable violation report as JSON",
+    )
+    lint.add_argument(
+        "--check",
+        action="store_true",
+        help="summary-only output (CI gate; exit code is 1 on violations)",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     derive = sub.add_parser(
         "derive-thresholds",

@@ -51,6 +51,17 @@ class Mode(Enum):
 class ModeController:
     """Per-router load estimator plus mode FSM."""
 
+    __slots__ = (
+        "thresholds",
+        "link_latency",
+        "adaptive",
+        "mode",
+        "ewma",
+        "_window",
+        "_alpha",
+        "backpressured_from",
+    )
+
     def __init__(
         self,
         thresholds: ContentionThresholds,

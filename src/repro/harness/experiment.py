@@ -16,6 +16,7 @@ import math
 import multiprocessing
 import statistics
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import (
     Callable,
@@ -28,6 +29,7 @@ from typing import (
     Union,
 )
 
+from ..analysis.sanitizer import Sanitizer
 from ..energy.model import EnergyBreakdown
 from ..faults import FaultInjector, FaultSpec, ProtectionConfig
 from ..memsys.system import MemorySystem
@@ -56,6 +58,22 @@ MAIN_DESIGNS: Tuple[Design, ...] = (
 ENERGY_DESIGNS_LOW_LOAD: Tuple[Design, ...] = MAIN_DESIGNS + (
     Design.BACKPRESSURED_IDEAL_BYPASS,
 )
+
+
+def _maybe_sanitize(net: Network, enabled: bool):
+    """A :class:`~repro.analysis.sanitizer.Sanitizer` attached to
+    ``net`` when ``enabled``, else a no-op context.  With the sanitizer
+    off nothing touches ``net.pre_step_hook``, so the run stays on the
+    zero-overhead fast path and is bit-identical to an unsanitized one.
+
+    Faulted runs (:meth:`ExperimentRunner.run_faulted`) deliberately do
+    not support sanitizing: injected faults break the very credit and
+    conservation invariants the sanitizer asserts (the protection layer
+    repairs them out-of-band via its own resync, see
+    ``FaultInjector._resync_afc``)."""
+    if enabled:
+        return Sanitizer(net)
+    return nullcontext()
 
 
 def _mean_std(values: Sequence[float]) -> Tuple[float, float]:
@@ -107,6 +125,7 @@ class _ClosedLoopJob:
     design: Design
     workload: WorkloadProfile
     seed: int
+    sanitize: bool = False
 
 
 @dataclass(frozen=True)
@@ -138,9 +157,10 @@ def _run_closed_loop_seed(job: _ClosedLoopJob) -> _ClosedLoopSample:
     system = MemorySystem(
         net, job.workload, machine=job.machine, seed=1000 + job.seed
     )
-    system.run(job.warmup_cycles)
-    system.begin_measurement()
-    system.run(job.measure_cycles)
+    with _maybe_sanitize(net, job.sanitize):
+        system.run(job.warmup_cycles)
+        system.begin_measurement()
+        system.run(job.measure_cycles)
     txns = max(1, system.transactions_completed)
     energy = net.measured_energy()
     stats = net.stats
@@ -182,6 +202,7 @@ class _OpenLoopJob:
     latency_groups: Tuple[Tuple[str, Tuple[int, ...]], ...]
     source_queue_limit: Optional[int]
     seed: int
+    sanitize: bool = False
 
 
 @dataclass(frozen=True)
@@ -209,9 +230,10 @@ def _run_open_loop_seed(job: _OpenLoopJob) -> _OpenLoopSample:
         seed=2000 + job.seed,
         source_queue_limit=job.source_queue_limit,
     )
-    source.run(job.warmup_cycles)
-    net.begin_measurement()
-    source.run(job.measure_cycles)
+    with _maybe_sanitize(net, job.sanitize):
+        source.run(job.warmup_cycles)
+        net.begin_measurement()
+        source.run(job.measure_cycles)
     stats = net.stats
     energy = net.measured_energy()
     flits = max(1, stats.flits_ejected)
@@ -409,6 +431,7 @@ class ExperimentRunner:
         seeds: int = 2,
         jobs: int = 1,
         base_seed: int = 0,
+        sanitize: bool = False,
     ) -> None:
         self.config = config if config is not None else NetworkConfig()
         self.machine = machine
@@ -423,6 +446,9 @@ class ExperimentRunner:
         #: schedules) derives from the job description alone — worker
         #: scheduling can never shift which seed a run gets.
         self.base_seed = base_seed
+        #: Attach the runtime invariant sanitizer to every (non-faulted)
+        #: run; a violation raises through :func:`map_jobs`.
+        self.sanitize = sanitize
 
     def _seed_range(self) -> range:
         return range(self.base_seed, self.base_seed + self.seeds)
@@ -442,6 +468,7 @@ class ExperimentRunner:
                     design=design,
                     workload=workload,
                     seed=seed,
+                    sanitize=self.sanitize,
                 )
                 for seed in self._seed_range()
             ],
@@ -516,6 +543,7 @@ class ExperimentRunner:
                     latency_groups=groups,
                     source_queue_limit=source_queue_limit,
                     seed=seed,
+                    sanitize=self.sanitize,
                 )
                 for seed in self._seed_range()
             ],

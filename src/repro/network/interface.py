@@ -21,6 +21,22 @@ from .stats import StatsCollector
 class NetworkInterface:
     """Injection queues + reassembly for one node."""
 
+    __slots__ = (
+        "node",
+        "stats",
+        "on_packet",
+        "on_offer",
+        "on_activity",
+        "guard",
+        "on_complete",
+        "_queues",
+        "_queued",
+        "reassembly",
+        "completed",
+        "flits_ejected_total",
+        "flits_offered_total",
+    )
+
     def __init__(
         self,
         node: int,

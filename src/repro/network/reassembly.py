@@ -20,7 +20,7 @@ from typing import Callable, Dict, List, Optional, Set
 from .flit import Flit, Packet
 
 
-@dataclass
+@dataclass(slots=True)
 class _PendingPacket:
     packet: Packet
     epoch: int = 0
@@ -51,6 +51,8 @@ class CompletedPacket:
 
 class ReassemblyBuffer:
     """Per-node MSHR-style reassembly of arriving flits."""
+
+    __slots__ = ("node", "_pending", "high_water", "stale_flits_discarded")
 
     def __init__(self, node: int) -> None:
         self.node = node

@@ -73,7 +73,9 @@ class WorkloadProfile:
 
     def demand_at(self, cycle: int) -> float:
         """Effective miss demand at ``cycle`` (phase-modulated)."""
-        if self.phase_period <= 0 or self.phase_amplitude == 0.0:
+        # __post_init__ validates amplitude into [0, 1), so <= 0.0 is the
+        # exact "phases disabled" test without a float equality.
+        if self.phase_period <= 0 or self.phase_amplitude <= 0.0:
             return self.demand_rate
         swing = math.sin(2.0 * math.pi * cycle / self.phase_period)
         return self.demand_rate * (1.0 + self.phase_amplitude * swing)

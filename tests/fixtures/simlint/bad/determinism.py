@@ -1,0 +1,20 @@
+"""Deliberately hazardous fixture: all-scope determinism rules.
+
+Every violation below is asserted (rule id + exact line number) by
+tests/test_simlint.py — keep line numbers stable when editing.
+"""
+
+import os
+import random
+import time  # line 9: wallclock
+
+rng = random.Random()  # line 11: unseeded-random
+pick = random.randrange(4)  # line 12: module-random
+stamp = time.time()  # (time.* use; the import on line 9 already flags)
+entropy = os.urandom(8)  # line 14: wallclock
+
+THRESHOLD = 0.75
+
+
+def crossed(value: float) -> bool:
+    return value == THRESHOLD  # line 20: float-equality

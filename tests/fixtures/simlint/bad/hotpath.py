@@ -1,0 +1,19 @@
+"""Deliberately hazardous fixture: hot-path hygiene rules.
+
+Asserted by tests/test_simlint.py — keep line numbers stable.
+"""
+
+
+class FastThing:  # simlint: hot-path  -- line 7: missing-slots
+    def __init__(self):
+        self.count = 0
+
+
+class Slotted:
+    __slots__ = ("count",)
+
+    def __init__(self):
+        self.count = 0
+
+    def bump(self):
+        self.total = 1  # line 19: attr-outside-init

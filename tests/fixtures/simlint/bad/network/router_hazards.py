@@ -1,0 +1,17 @@
+"""Deliberately hazardous fixture: network-scope iteration rules.
+
+Lives under a ``network/`` directory so the scoped rules apply.
+Asserted by tests/test_simlint.py — keep line numbers stable.
+"""
+
+
+def drain(ports):
+    active = {port for port in ports if port.busy}
+    for port in active:  # line 10: set-iteration
+        port.drain()
+
+
+def expire(table):
+    for key in table:
+        if table[key] is None:
+            del table[key]  # line 17: dict-mutation

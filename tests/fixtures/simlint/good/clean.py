@@ -1,0 +1,25 @@
+"""Clean fixture: the deterministic idioms the lint rules steer toward."""
+
+import random
+
+
+def make_rng(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+class HotThing:  # simlint: hot-path
+    __slots__ = ("count",)
+
+    def __init__(self) -> None:
+        self.count = 0
+
+
+def drain(ports):
+    for port in sorted(ports, key=lambda p: p.index):
+        port.drain()
+
+
+def expire(table):
+    dead = [key for key, value in table.items() if value is None]
+    for key in dead:
+        del table[key]

@@ -1,0 +1,7 @@
+"""Clean-by-suppression fixture: every hazard carries a directive."""
+
+import random
+import time  # simlint: disable=wallclock
+
+rng = random.Random()  # simlint: disable=unseeded-random
+pick = random.randrange(4)  # simlint: disable=all

@@ -25,6 +25,7 @@ import tracemalloc
 
 import pytest
 
+from repro.analysis.sanitizer import Sanitizer
 from repro.faults import FaultInjector, FaultSchedule
 from repro.network.config import Design, NetworkConfig
 from repro.simulation import Network
@@ -42,12 +43,21 @@ RETAINED_BUDGET_PER_CYCLE = 32 * 1024
 TRANSIENT_BUDGET = 128 * 1024
 
 
-def _trace_steady_state(design: Design, with_injector: bool = False):
+def _trace_steady_state(
+    design: Design,
+    with_injector: bool = False,
+    with_detached_sanitizer: bool = False,
+):
     net = Network(
         NetworkConfig(width=8, height=8), design, seed=1, engine="active"
     )
     if with_injector:
         FaultInjector(net, FaultSchedule.empty())
+    if with_detached_sanitizer:
+        # Attach-then-detach must leave the zero-overhead fast path:
+        # pre_step_hook back to None, nothing retained per cycle.
+        Sanitizer(net).attach().detach()
+        assert net.pre_step_hook is None
     source = uniform_random_traffic(
         net, RATE, seed=7, source_queue_limit=32
     )
@@ -108,4 +118,29 @@ def test_disabled_faults_hot_path_within_same_budget(design):
         f"{design.value}+injector: transient high-water {transient:.0f} B "
         f"exceeds the {TRANSIENT_BUDGET} B budget — the disabled-faults "
         "path has added per-cycle churn"
+    )
+
+
+@pytest.mark.parametrize(
+    "design",
+    [Design.BACKPRESSURED, Design.AFC],
+    ids=lambda d: d.value,
+)
+def test_detached_sanitizer_hot_path_within_same_budget(design):
+    """A sanitizer that was attached and detached again must leave the
+    per-cycle path exactly as it found it: ``pre_step_hook`` is None, so
+    the engine's ``if hook is not None`` guard is the only trace and the
+    run fits the *same* allocation budgets as a bare network."""
+    retained_per_cycle, transient = _trace_steady_state(
+        design, with_detached_sanitizer=True
+    )
+    assert retained_per_cycle < RETAINED_BUDGET_PER_CYCLE, (
+        f"{design.value}+sanitizer-off: retained {retained_per_cycle:.0f} "
+        f"B/cycle exceeds the {RETAINED_BUDGET_PER_CYCLE} B/cycle budget "
+        "— the sanitizer-off path is allocating per cycle"
+    )
+    assert transient < TRANSIENT_BUDGET, (
+        f"{design.value}+sanitizer-off: transient high-water "
+        f"{transient:.0f} B exceeds the {TRANSIENT_BUDGET} B budget — "
+        "the sanitizer-off path has added per-cycle churn"
     )

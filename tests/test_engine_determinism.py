@@ -18,6 +18,7 @@ still owes (or is owed) a flit would show up here immediately.
 import pytest
 
 from repro import Design, Network, NetworkConfig
+from repro.analysis.sanitizer import Sanitizer
 from repro.harness.experiment import ExperimentRunner
 from repro.harness.sweep import SweepGrid, run_open_loop_sweep
 from repro.network.flit import reset_packet_ids
@@ -147,6 +148,46 @@ def test_afc_self_wake_reverse_switch():
         entry["reverse_switches"] for entry in naive["mode_stats"].values()
     )
     assert reverse > 0, "scenario too gentle: no reverse switch happened"
+
+
+# -- invariant sanitizer is a pure observer -----------------------------------
+def _run_sanitized_scenario(
+    design: Design, engine: str, rate: float, cycles: int, detach_first: bool
+) -> dict:
+    """Like :func:`run_scenario` but with a Sanitizer in the picture —
+    either watching the whole run (``detach_first=False``) or attached
+    and detached again before any cycle executes (``detach_first=True``,
+    the sanitizer-off path)."""
+    from repro.traffic.synthetic import uniform_random_traffic
+
+    reset_packet_ids()
+    net = Network(NetworkConfig(), design, seed=11, engine=engine)
+    source = uniform_random_traffic(net, rate, seed=5, source_queue_limit=300)
+    sanitizer = Sanitizer(net).attach()
+    if detach_first:
+        sanitizer.detach()
+    source.run(cycles)
+    net.drain(max_cycles=20_000)
+    sanitizer.detach()
+    net.check_flit_conservation()
+    return full_state(net)
+
+
+@pytest.mark.parametrize("engine", ["naive", "active"])
+@pytest.mark.parametrize(
+    "design",
+    [Design.BACKPRESSURED, Design.BACKPRESSURELESS, Design.AFC],
+    ids=lambda d: d.value,
+)
+def test_sanitizer_runs_are_bit_identical(design, engine):
+    """Attached or detached, the sanitizer never perturbs a run: every
+    externally observable accumulator matches the plain run exactly on
+    both engines (it reads state, never writes it)."""
+    plain = run_scenario(design, engine, 0.35, 500)
+    detached = _run_sanitized_scenario(design, engine, 0.35, 500, True)
+    watched = _run_sanitized_scenario(design, engine, 0.35, 500, False)
+    assert detached == plain
+    assert watched == plain
 
 
 def test_unknown_engine_rejected():

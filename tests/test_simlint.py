@@ -1,0 +1,292 @@
+"""The ``simlint`` static pass: rules, scopes, suppressions, CLI.
+
+Two layers of coverage:
+
+* precise unit checks via :func:`check_source` on inline sources —
+  rule id **and** line number are asserted exactly, so a checker that
+  drifts to a neighbouring statement fails loudly; and
+* the fixture corpus under ``tests/fixtures/simlint/`` driven through
+  :func:`lint_paths` and the ``repro lint`` CLI — the bad tree must
+  exit non-zero with exactly the planted findings, the good tree (and
+  the real ``src/repro`` tree) must exit zero.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import repro
+from repro.analysis.simlint import lint_paths
+from repro.analysis.simlint.checkers import check_source
+from repro.analysis.simlint.rules import DEFAULT_CONFIG
+
+FIXTURES = Path(__file__).parent / "fixtures" / "simlint"
+BAD = FIXTURES / "bad"
+GOOD = FIXTURES / "good"
+
+
+def findings(source: str, posix_path: str = "src/repro/harness/x.py"):
+    """(line, rule) pairs for ``source`` linted as ``posix_path``."""
+    out = check_source(source, posix_path, posix_path, DEFAULT_CONFIG)
+    return [(v.line, v.rule) for v in out]
+
+
+# -- determinism rules, exact line numbers --------------------------------
+def test_unseeded_random():
+    src = "import random\nrng = random.Random()\n"
+    assert findings(src) == [(2, "unseeded-random")]
+
+
+def test_seeded_random_is_clean():
+    src = "import random\nrng = random.Random(42)\n"
+    assert findings(src) == []
+
+
+def test_from_random_import_random_unseeded():
+    src = "from random import Random\nrng = Random()\n"
+    assert findings(src) == [(2, "unseeded-random")]
+
+
+def test_module_level_random_use():
+    src = "import random\nx = random.choice([1, 2])\n"
+    assert findings(src) == [(2, "module-random")]
+
+
+def test_from_random_import_function():
+    src = "from random import shuffle\n"
+    assert findings(src) == [(1, "module-random")]
+
+
+def test_numpy_random():
+    src = "import numpy as np\n\n\ndef f():\n    return np.random.rand()\n"
+    assert findings(src) == [(5, "numpy-random")]
+
+
+def test_wallclock_imports_and_urandom():
+    src = "import time\nimport os\ntoken = os.urandom(4)\n"
+    assert findings(src) == [(1, "wallclock"), (3, "wallclock")]
+
+
+def test_float_equality_annotation_and_literal():
+    src = (
+        "LOW = 0.25\n"
+        "\n"
+        "\n"
+        "def f(ewma: float):\n"
+        "    if ewma == LOW:\n"
+        "        return ewma != 0.5\n"
+        "    return False\n"
+    )
+    assert findings(src) == [(5, "float-equality"), (6, "float-equality")]
+
+
+def test_float_ordering_is_clean():
+    src = "def f(ewma: float):\n    return ewma >= 0.5\n"
+    assert findings(src) == []
+
+
+# -- network-scoped rules --------------------------------------------------
+NETWORK_PATH = "src/repro/network/x.py"
+SET_LOOP = (
+    "def drain(ports):\n"
+    "    live = set(ports)\n"
+    "    for p in live:\n"
+    "        p.drain()\n"
+)
+DICT_MUTATION = (
+    "def expire(table):\n"
+    "    for key, value in table.items():\n"
+    "        if value is None:\n"
+    "            table.pop(key)\n"
+)
+
+
+def test_set_iteration_flagged_in_network_scope():
+    assert findings(SET_LOOP, NETWORK_PATH) == [(3, "set-iteration")]
+
+
+def test_set_iteration_ignored_outside_network_scope():
+    assert findings(SET_LOOP, "src/repro/harness/x.py") == []
+
+
+def test_dict_mutation_while_iterating():
+    assert findings(DICT_MUTATION, NETWORK_PATH) == [(4, "dict-mutation")]
+
+
+def test_mutation_of_other_container_is_clean():
+    src = (
+        "def move(src_q, dst_q):\n"
+        "    for key, value in src_q.items():\n"
+        "        dst_q.update({key: value})\n"
+    )
+    assert findings(src, NETWORK_PATH) == []
+
+
+# -- hot-path hygiene -------------------------------------------------------
+def test_registered_hot_path_class_requires_slots():
+    src = "class Flit:\n    def __init__(self):\n        self.vc = -1\n"
+    assert findings(src, "src/repro/network/flit.py") == [
+        (1, "missing-slots")
+    ]
+
+
+def test_hot_path_comment_marker():
+    src = "class Fast:  # simlint: hot-path\n    pass\n"
+    assert findings(src) == [(1, "missing-slots")]
+
+
+def test_dataclass_slots_satisfies_hot_path():
+    src = (
+        "from dataclasses import dataclass\n"
+        "\n"
+        "\n"
+        "@dataclass(slots=True)\n"
+        "class Fast:  # simlint: hot-path\n"
+        "    x: int = 0\n"
+    )
+    assert findings(src) == []
+
+
+def test_attr_created_outside_init_on_slotted_class():
+    src = (
+        "class S:\n"
+        "    __slots__ = ('a',)\n"
+        "\n"
+        "    def grow(self):\n"
+        "        self.b = 1\n"
+    )
+    assert findings(src) == [(5, "attr-outside-init")]
+
+
+def test_slot_attr_assigned_in_method_is_clean():
+    src = (
+        "class S:\n"
+        "    __slots__ = ('a',)\n"
+        "\n"
+        "    def grow(self):\n"
+        "        self.a = 1\n"
+    )
+    assert findings(src) == []
+
+
+# -- suppressions -----------------------------------------------------------
+def test_per_line_suppression():
+    src = (
+        "import random\n"
+        "rng = random.Random()  # simlint: disable=unseeded-random\n"
+    )
+    assert findings(src) == []
+
+
+def test_suppression_is_rule_specific():
+    src = (
+        "import random\n"
+        "rng = random.Random()  # simlint: disable=module-random\n"
+    )
+    assert findings(src) == [(2, "unseeded-random")]
+
+
+def test_disable_all_on_line():
+    src = "import random\nx = random.random()  # simlint: disable=all\n"
+    assert findings(src) == []
+
+
+def test_suppression_only_covers_its_line():
+    src = (
+        "import random\n"
+        "a = random.Random()  # simlint: disable=unseeded-random\n"
+        "b = random.Random()\n"
+    )
+    assert findings(src) == [(3, "unseeded-random")]
+
+
+# -- fixture corpus through the API ----------------------------------------
+#: Every planted finding in the bad tree, keyed by file.
+EXPECTED_BAD = {
+    "determinism.py": [
+        (9, "wallclock"),
+        (11, "unseeded-random"),
+        (12, "module-random"),
+        (14, "wallclock"),
+        (20, "float-equality"),
+    ],
+    "hotpath.py": [
+        (7, "missing-slots"),
+        (19, "attr-outside-init"),
+    ],
+    os.path.join("network", "router_hazards.py"): [
+        (10, "set-iteration"),
+        (17, "dict-mutation"),
+    ],
+}
+
+
+def test_bad_corpus_exact_findings():
+    report = lint_paths([str(BAD)])
+    assert not report.ok
+    assert not report.parse_errors
+    by_file = {}
+    for violation in report.violations:
+        rel = os.path.relpath(violation.path, str(BAD))
+        by_file.setdefault(rel, []).append((violation.line, violation.rule))
+    assert by_file == EXPECTED_BAD
+
+
+def test_good_corpus_clean():
+    report = lint_paths([str(GOOD)])
+    assert report.ok
+    assert report.files_checked == 2
+    assert report.violations == []
+
+
+def test_repro_source_tree_clean():
+    """The tree lints clean — satellite 1 of the simcheck issue, pinned
+    so new hazards cannot land silently."""
+    src_root = Path(repro.__file__).parent
+    report = lint_paths([str(src_root)])
+    assert report.ok, report.render()
+    assert report.files_checked > 40
+
+
+# -- CLI ---------------------------------------------------------------------
+def run_cli(*args):
+    env = dict(os.environ)
+    src_dir = str(Path(repro.__file__).parent.parent)
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "lint", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+
+
+def test_cli_bad_corpus_exits_nonzero():
+    proc = run_cli(str(BAD))
+    assert proc.returncode == 1
+    assert "unseeded-random" in proc.stdout
+    assert "simlint: 9 violation(s)" in proc.stdout
+
+
+def test_cli_good_corpus_exits_zero():
+    proc = run_cli(str(GOOD), "--check")
+    assert proc.returncode == 0
+    assert "clean" in proc.stdout
+
+
+def test_cli_defaults_to_repro_tree_and_is_clean():
+    proc = run_cli("--check")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "clean" in proc.stdout
+
+
+def test_cli_json_report():
+    proc = run_cli(str(BAD), "--json")
+    assert proc.returncode == 1
+    payload = json.loads(proc.stdout)
+    assert payload["ok"] is False
+    rules = {v["rule"] for v in payload["violations"]}
+    assert "float-equality" in rules
+    assert payload["counts_by_rule"]["wallclock"] == 2
