@@ -1,0 +1,185 @@
+"""Observability overhead benchmark (``BENCH_observability.json``).
+
+Two claims are pinned (docs/OBSERVABILITY.md, "Cost"):
+
+* **Off is free** — with observability disabled the hooks are ``None``
+  and the simulation is *bit-identical* to a build that never heard of
+  ``repro.obs``; the same holds for a hub that was attached and
+  detached again.  This is asserted on the full statistics fingerprint
+  (stats, mode history, energy ledger), not on timing, so it is a 0%
+  guarantee rather than a noisy measurement.
+* **On is bounded** — a fully observed run (trace + metrics, the
+  per-event hot-path consumers) stays under 2x the wall-clock of the
+  unobserved throughput scenario (8x8 AFC at 40% injection, the
+  simulator-throughput benchmark's high-load point).
+
+Run standalone to (re)generate the archived JSON::
+
+    PYTHONPATH=src python benchmarks/bench_observability_overhead.py
+    PYTHONPATH=src python benchmarks/bench_observability_overhead.py --quick
+
+Exits non-zero when either claim fails (CI runs ``--quick``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from repro import Design, Network, NetworkConfig
+from repro.network.flit import reset_packet_ids
+from repro.obs.hub import Observability, ObservabilityOptions
+from repro.traffic.synthetic import uniform_random_traffic
+
+RESULTS_PATH = (
+    pathlib.Path(__file__).parent / "results" / "BENCH_observability.json"
+)
+
+WIDTH = 8
+HEIGHT = 8
+RATE = 0.40
+NET_SEED = 1
+TRAFFIC_SEED = 7
+SOURCE_QUEUE_LIMIT = 500
+MAX_OVERHEAD_RATIO = 2.0
+
+FULL_OPTIONS = ObservabilityOptions(
+    trace=True, trace_capacity=1 << 20, metrics=True
+)
+
+
+def fingerprint(net: Network) -> dict:
+    """Every externally observable accumulator, JSON-stable."""
+    stats = {}
+    for key, value in vars(net.stats).items():
+        if key == "mode_stats":
+            stats[key] = {
+                node: vars(entry).copy()
+                for node, entry in sorted(value.items())
+            }
+        elif key == "latency_histogram":
+            stats[key] = value.to_dict()
+        elif hasattr(value, "items"):
+            stats[key] = dict(value)
+        else:
+            stats[key] = value
+    return {
+        "cycle": net.cycle,
+        "stats": stats,
+        "energy": vars(net.energy.totals).copy(),
+    }
+
+
+def run_scenario(cycles: int, mode: str):
+    """One throughput-scenario run; mode is ``off``, ``detached`` or
+    ``observed``.  Returns (elapsed seconds, fingerprint, observer)."""
+    reset_packet_ids()
+    net = Network(
+        NetworkConfig(width=WIDTH, height=HEIGHT), Design.AFC, seed=NET_SEED
+    )
+    observer = None
+    if mode == "detached":
+        Observability(net, FULL_OPTIONS).attach().detach()
+    elif mode == "observed":
+        observer = Observability(net, FULL_OPTIONS).attach()
+    source = uniform_random_traffic(
+        net, RATE, seed=TRAFFIC_SEED, source_queue_limit=SOURCE_QUEUE_LIMIT
+    )
+    start = time.perf_counter()
+    source.run(cycles)
+    elapsed = time.perf_counter() - start
+    if observer is not None:
+        observer.detach()
+    return elapsed, fingerprint(net), observer
+
+
+def best_of(cycles: int, mode: str, repeats: int):
+    elapsed = []
+    result = None
+    for _ in range(repeats):
+        seconds, print_, observer = run_scenario(cycles, mode)
+        elapsed.append(seconds)
+        result = (print_, observer)
+    return min(elapsed), result[0], result[1]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="short CI mode (fewer cycles and repeats)",
+    )
+    args = parser.parse_args(argv)
+    cycles = 400 if args.quick else 1_500
+    repeats = 2 if args.quick else 3
+
+    base_seconds, base_print, _ = best_of(cycles, "off", repeats)
+    detached_seconds, detached_print, _ = best_of(cycles, "detached", repeats)
+    observed_seconds, observed_print, observer = best_of(
+        cycles, "observed", repeats
+    )
+
+    off_identical = detached_print == base_print
+    observed_identical = observed_print == base_print
+    ratio = observed_seconds / base_seconds
+
+    record = {
+        "scenario": {
+            "design": "afc",
+            "mesh": f"{WIDTH}x{HEIGHT}",
+            "rate": RATE,
+            "cycles": cycles,
+            "repeats": repeats,
+            "quick": args.quick,
+        },
+        "baseline_seconds": round(base_seconds, 4),
+        "detached_seconds": round(detached_seconds, 4),
+        "observed_seconds": round(observed_seconds, 4),
+        "overhead_ratio": round(ratio, 3),
+        "max_overhead_ratio": MAX_OVERHEAD_RATIO,
+        "bit_identical_when_off": off_identical,
+        "bit_identical_when_observed": observed_identical,
+        "trace_events_recorded": observer.tracer.recorded,
+        "metric_counters": len(
+            observer.registry.to_dict()["counters"]
+        ),
+    }
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    print(
+        f"observability overhead: baseline {base_seconds:.3f}s, "
+        f"detached {detached_seconds:.3f}s, "
+        f"observed {observed_seconds:.3f}s ({ratio:.2f}x)"
+    )
+    print(f"bit-identical off/detached: {off_identical}")
+    print(f"bit-identical while observed: {observed_identical}")
+    print(f"wrote {RESULTS_PATH}")
+
+    failures = []
+    if not off_identical:
+        failures.append(
+            "FAIL: attach+detach changed simulation results "
+            "(tracing-off must be a 0% overhead no-op)"
+        )
+    if not observed_identical:
+        failures.append(
+            "FAIL: an observed run changed simulation results "
+            "(observability must be read-only)"
+        )
+    if ratio >= MAX_OVERHEAD_RATIO:
+        failures.append(
+            f"FAIL: observed run is {ratio:.2f}x baseline "
+            f"(budget {MAX_OVERHEAD_RATIO:.1f}x)"
+        )
+    for line in failures:
+        print(line, file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

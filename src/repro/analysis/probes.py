@@ -73,6 +73,39 @@ class TimeSeriesProbe:
         self.add("backpressured_fraction", backpressured_fraction)
         self.add("mean_ewma", mean_ewma)
 
+    # -- hook-driven operation ------------------------------------------------
+    def attach(self) -> "TimeSeriesProbe":
+        """Sample automatically after every network cycle (installs the
+        network's ``post_step_hook``); pairs with :meth:`detach`.
+
+        This makes the probe usable where the caller does not own the
+        simulation loop (the experiment harness, the CLI)."""
+        if self.network.post_step_hook is not None:
+            raise ValueError("network already has a post_step_hook installed")
+        self.network.post_step_hook = self._on_cycle
+        return self
+
+    def detach(self) -> None:
+        if self.network.post_step_hook == self._on_cycle:
+            self.network.post_step_hook = None
+
+    def _on_cycle(self, cycle: int) -> None:
+        self.maybe_sample()
+
+    def __enter__(self) -> "TimeSeriesProbe":
+        return self.attach()
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    def to_dict(self) -> dict:
+        """The sampled series as a JSON-ready dict."""
+        return {
+            "every": self.every,
+            "cycles": list(self.cycles),
+            "series": {name: list(vals) for name, vals in self.series.items()},
+        }
+
     # -- sampling ------------------------------------------------------------
     def maybe_sample(self) -> bool:
         """Sample if the interval elapsed; returns True when sampled."""

@@ -1,10 +1,11 @@
 """Command-line interface.
 
-Six subcommands cover the common experiments without writing code::
+Seven subcommands cover the common experiments without writing code::
 
     python -m repro run --design afc --workload apache
     python -m repro compare --workload ocean --seeds 2
     python -m repro sweep --rates 0.2 0.4 0.6 0.8
+    python -m repro trace --rate 0.40 --out trace.json
     python -m repro derive-thresholds --rate 0.7
     python -m repro faults --flap-rate 4 --bit-error-rate 2 --check
     python -m repro lint --check
@@ -12,7 +13,10 @@ Six subcommands cover the common experiments without writing code::
 ``run``, ``compare`` and ``faults`` accept ``--json`` for a
 machine-readable stats dict instead of the table rendering.  ``run``
 and ``compare`` accept ``--sanitize`` to run the per-cycle invariant
-sanitizer (docs/ANALYSIS.md) alongside the simulation.
+sanitizer (docs/ANALYSIS.md) alongside the simulation, and the
+observability flags ``--trace`` / ``--metrics`` / ``--profile-sim``
+(docs/OBSERVABILITY.md); ``run`` additionally takes
+``--probe-every N --probe-out FILE`` for time-series sampling.
 
 All cycle counts are short by default so the CLI answers in seconds;
 raise ``--warmup/--measure/--seeds`` for publication-grade runs (the
@@ -36,6 +40,9 @@ from .harness.experiment import ExperimentRunner, MAIN_DESIGNS
 from .harness.reporting import format_normalized_table, format_table
 from .harness.sweep import SweepGrid, run_open_loop_sweep
 from .network.config import Design, NetworkConfig
+from .obs.hub import Observability, ObservabilityOptions
+from .obs.metrics import MetricsRegistry
+from .obs.profiler import render_report
 from .traffic.workloads import WORKLOADS
 
 #: Designs compared by the resilience experiments (the paper's three
@@ -148,6 +155,114 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """Observability flags shared by ``run`` and ``compare``."""
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "record a flit-lifecycle trace and write it as Chrome "
+            "trace-event JSON (open in Perfetto)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-out",
+        default="trace.json",
+        help="output path for the --trace JSON",
+    )
+    parser.add_argument(
+        "--trace-capacity",
+        type=_positive_int,
+        default=1 << 17,
+        help="trace ring-buffer capacity in events (oldest are dropped)",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help=(
+            "collect the per-router / per-vnet metrics registry "
+            "(merged across seeds) and print it (or include in --json)"
+        ),
+    )
+    parser.add_argument(
+        "--profile-sim",
+        action="store_true",
+        help=(
+            "time router pipeline stages per cycle bucket and print the "
+            "self-time report (simulation-level, unlike --profile)"
+        ),
+    )
+
+
+def _obs_options(args: argparse.Namespace) -> Optional[ObservabilityOptions]:
+    opts = ObservabilityOptions(
+        trace=getattr(args, "trace", False),
+        trace_capacity=getattr(args, "trace_capacity", 1 << 17),
+        metrics=getattr(args, "metrics", False),
+        profile=getattr(args, "profile_sim", False),
+        probe_every=getattr(args, "probe_every", 0) or 0,
+    )
+    return opts if opts.enabled else None
+
+
+def _obs_out_path(base: str, label: str) -> Path:
+    path = Path(base)
+    if not label:
+        return path
+    suffix = path.suffix or ".json"
+    return path.with_name(f"{path.stem}-{label}{suffix}")
+
+
+def _write_obs_artifacts(
+    args: argparse.Namespace, result: Any, label: str = ""
+) -> None:
+    """File outputs of an observed run (trace JSON, probe series)."""
+    payload = result.observability or {}
+    if getattr(args, "trace", False) and "trace" in payload:
+        out = _obs_out_path(args.trace_out, label)
+        out.write_text(json.dumps(payload["trace"]))
+        summary = payload.get("trace_summary", {})
+        print(
+            f"trace: wrote {out} "
+            f"({summary.get('recorded', 0)} events, "
+            f"{summary.get('dropped', 0)} dropped)",
+            file=sys.stderr,
+        )
+    if getattr(args, "probe_out", None) and "probe" in payload:
+        out = _obs_out_path(args.probe_out, label)
+        out.write_text(json.dumps(payload["probe"], indent=2))
+        print(
+            f"probe: wrote {out} "
+            f"({len(payload['probe']['cycles'])} samples)",
+            file=sys.stderr,
+        )
+
+
+def _print_obs_reports(
+    args: argparse.Namespace, result: Any, label: str = ""
+) -> None:
+    """Text renderings of an observed run (table mode only)."""
+    payload = result.observability or {}
+    if getattr(args, "metrics", False) and "metrics" in payload:
+        registry = MetricsRegistry.from_dict(payload["metrics"])
+        rows = [[name, value] for name, value in registry.rows()]
+        title = "metrics" + (f" ({label})" if label else "")
+        print(format_table(["metric", "value"], rows, title=title))
+    if getattr(args, "profile_sim", False) and "profile" in payload:
+        if label:
+            print(f"[{label}]")
+        print(render_report(payload["profile"]))
+
+
+def _strip_bulky_obs(payload: dict) -> dict:
+    """Drop the full trace from a --json result (it goes to
+    --trace-out; the summary stays in the JSON)."""
+    obs = payload.get("observability")
+    if obs:
+        obs.pop("trace", None)
+    return payload
+
+
 def _runner(args: argparse.Namespace) -> ExperimentRunner:
     config = NetworkConfig(width=args.width, height=args.height)
     return ExperimentRunner(
@@ -158,6 +273,7 @@ def _runner(args: argparse.Namespace) -> ExperimentRunner:
         jobs=args.jobs,
         base_seed=args.base_seed,
         sanitize=getattr(args, "sanitize", False),
+        obs=_obs_options(args),
     )
 
 
@@ -169,14 +285,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     if args.sanitize and not args.json:
         print("sanitizer: enabled, no invariant violations")
+    _write_obs_artifacts(args, result)
     if args.json:
-        _emit_json(_result_dict(result))
+        _emit_json(_strip_bulky_obs(_result_dict(result)))
         return 0
     rows = [
         ["performance (txn/kcycle/core)", f"{result.performance:.3f}"],
         ["energy per transaction (pJ)", f"{result.energy_per_txn:.1f}"],
         ["injection rate (flits/node/cycle)", f"{result.injection_rate:.3f}"],
         ["avg packet latency (cycles)", f"{result.avg_packet_latency:.1f}"],
+        ["p50 / p95 / p99 latency",
+         f"{result.p50_packet_latency:.0f} / "
+         f"{result.p95_packet_latency:.0f} / "
+         f"{result.p99_packet_latency:.0f}"],
         ["avg miss latency (cycles)", f"{result.avg_miss_latency:.1f}"],
         ["backpressured fraction", f"{result.backpressured_fraction:.3f}"],
         ["forward / reverse switches",
@@ -190,6 +311,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"({args.seeds} seed(s))",
         )
     )
+    _print_obs_reports(args, result)
     return 0
 
 
@@ -205,12 +327,14 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         return 2
     if args.sanitize and not args.json:
         print("sanitizer: enabled, no invariant violations")
+    for design, result in results.items():
+        _write_obs_artifacts(args, result, label=design.value)
     if args.json:
         _emit_json(
             {
                 "workload": args.workload.name,
                 "designs": {
-                    design.value: _result_dict(result)
+                    design.value: _strip_bulky_obs(_result_dict(result))
                     for design, result in results.items()
                 },
             }
@@ -227,6 +351,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             "energy/txn", energy, MAIN_DESIGNS, higher_is_better=False
         )
     )
+    for design, result in results.items():
+        _print_obs_reports(args, result, label=design.value)
     return 0
 
 
@@ -361,6 +487,81 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """One single-seed traced open-loop run with a Perfetto export.
+
+    The defaults reproduce the paper's gossip conditions (Section V-A:
+    gossip switches appear under open-loop hotspot traffic): a 4x4 mesh
+    with half the traffic aimed at the central node, driven to
+    saturation, so the trace shows forward switches, gossip switches
+    and deflected hop paths in one run."""
+    from .network.flit import reset_packet_ids
+    from .simulation import Network
+    from .traffic.patterns import Hotspot
+    from .traffic.synthetic import OpenLoopSource
+
+    config = NetworkConfig(width=args.width, height=args.height)
+    reset_packet_ids()
+    net = Network(config, args.design, seed=args.seed)
+    pattern = None
+    if args.pattern == "hotspot":
+        hotspot = (config.height // 2) * config.width + config.width // 2
+        pattern = Hotspot(
+            net.mesh, hotspot=hotspot, fraction=args.hotspot_fraction
+        )
+    source = OpenLoopSource(
+        net,
+        args.rate,
+        pattern=pattern,
+        seed=args.traffic_seed,
+        source_queue_limit=args.queue_limit,
+    )
+    obs = Observability(net, trace=True, trace_capacity=args.capacity)
+    with obs:
+        source.run(args.cycles)
+    tracer = obs.tracer
+    tracer.write_chrome_trace(args.out)
+    summary = tracer.summary()
+    deflected = tracer.most_deflected_pids(limit=5)
+    if args.hop_path is not None:
+        hop_pids = [args.hop_path]
+    else:
+        hop_pids = [pid for pid, _count in deflected[:1]]
+    if args.json:
+        _emit_json(
+            {
+                "out": str(args.out),
+                "summary": summary,
+                "most_deflected": [list(item) for item in deflected],
+                "hop_paths": {
+                    str(pid): tracer.hop_path(pid) for pid in hop_pids
+                },
+            }
+        )
+        return 0
+    rows = [[key, str(value)] for key, value in summary.items()]
+    print(
+        format_table(
+            ["event", "count"],
+            rows,
+            title=(
+                f"trace of {args.design.value} at {args.rate:.2f} "
+                f"({args.pattern}, {args.cycles} cycles) -> {args.out}"
+            ),
+        )
+    )
+    if deflected:
+        print(
+            "most deflected packets: "
+            + ", ".join(f"pid {p} ({c} hops)" for p, c in deflected)
+        )
+    for pid in hop_pids:
+        print()
+        print(tracer.format_hop_path(pid))
+    print(f"open {args.out} in https://ui.perfetto.dev to inspect")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .analysis.simlint import lint_paths
 
@@ -431,6 +632,21 @@ def build_parser() -> argparse.ArgumentParser:
             "agreement, mode legality) during the run; exit 2 on violation"
         ),
     )
+    run.add_argument(
+        "--probe-every",
+        type=_positive_int,
+        default=None,
+        help=(
+            "sample throughput / latency / AFC mode residency every N "
+            "cycles with a TimeSeriesProbe (write with --probe-out)"
+        ),
+    )
+    run.add_argument(
+        "--probe-out",
+        default="probe.json",
+        help="output path for the --probe-every series (JSON)",
+    )
+    _add_obs_flags(run)
     _add_common(run)
     run.set_defaults(func=_cmd_run)
 
@@ -451,8 +667,77 @@ def build_parser() -> argparse.ArgumentParser:
             "violation"
         ),
     )
+    _add_obs_flags(compare)
     _add_common(compare)
     compare.set_defaults(func=_cmd_compare)
+
+    trace = sub.add_parser(
+        "trace",
+        help=(
+            "one traced open-loop run with Perfetto (Chrome trace-event) "
+            "export and hop-path dump"
+        ),
+    )
+    trace.add_argument("--design", type=_design, default=Design.AFC)
+    trace.add_argument("--width", type=int, default=4, help="mesh width")
+    trace.add_argument("--height", type=int, default=4, help="mesh height")
+    trace.add_argument(
+        "--rate",
+        type=_offered_rate,
+        default=0.40,
+        help="offered load in flits/node/cycle, in (0, 1]",
+    )
+    trace.add_argument(
+        "--pattern",
+        choices=("uniform", "hotspot"),
+        default="hotspot",
+        help=(
+            "traffic pattern; hotspot aims --hotspot-fraction of packets "
+            "at the central node (the paper's gossip-switch conditions)"
+        ),
+    )
+    trace.add_argument(
+        "--hotspot-fraction",
+        type=_nonneg_float,
+        default=0.5,
+        help="fraction of packets destined to the hotspot node",
+    )
+    trace.add_argument(
+        "--cycles", type=_positive_int, default=2_000, help="cycles to run"
+    )
+    trace.add_argument(
+        "--seed", type=int, default=1, help="network (per-router RNG) seed"
+    )
+    trace.add_argument(
+        "--traffic-seed", type=int, default=5, help="traffic source seed"
+    )
+    trace.add_argument(
+        "--queue-limit",
+        type=_positive_int,
+        default=64,
+        help="source queue limit (bounds open-loop backlog)",
+    )
+    trace.add_argument(
+        "--capacity",
+        type=_positive_int,
+        default=1 << 17,
+        help="trace ring-buffer capacity in events",
+    )
+    trace.add_argument(
+        "--out", default="trace.json", help="Chrome trace-event output path"
+    )
+    trace.add_argument(
+        "--hop-path",
+        type=int,
+        default=None,
+        help="dump this packet id's hop path (default: most deflected)",
+    )
+    trace.add_argument(
+        "--json",
+        action="store_true",
+        help="emit summary, deflection ranking and hop paths as JSON",
+    )
+    trace.set_defaults(func=_cmd_trace)
 
     sweep = sub.add_parser("sweep", help="open-loop uniform-random sweep")
     sweep.add_argument(

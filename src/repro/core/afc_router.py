@@ -165,9 +165,13 @@ class AfcRouter(BaseRouter):
         if self._mode.mode is Mode.BACKPRESSURED:
             self._input_ports[in_port].insert(flit)
             self.energy.buffer_write(self.node)
+            if self.obs is not None:
+                self.obs.on_arrive(self.node, flit, in_port, True, cycle)
         else:
             self._latched.append((flit, in_port))
             self.energy.latch(self.node)
+            if self.obs is not None:
+                self.obs.on_arrive(self.node, flit, in_port, False, cycle)
 
     def _accept_credit(
         self, out_port: Direction, credit: CreditMessage, cycle: int
@@ -247,6 +251,8 @@ class AfcRouter(BaseRouter):
         entry.forward_switches += 1
         if gossip:
             entry.gossip_switches += 1
+        if self.obs is not None:
+            self.obs.on_mode_switch(self.node, True, gossip, cycle)
         for direction, channel in self.in_channels.items():
             channel.send_mode_notice(
                 ModeNotification(
@@ -260,6 +266,8 @@ class AfcRouter(BaseRouter):
     def _begin_reverse(self, cycle: int) -> None:
         self._mode.begin_reverse()
         self.stats.mode(self.node).reverse_switches += 1
+        if self.obs is not None:
+            self.obs.on_mode_switch(self.node, False, False, cycle)
         for channel in self.in_channels.values():
             channel.send_mode_notice(
                 ModeNotification(kind=ModeNotice.STOP_CREDITS), cycle
@@ -338,6 +346,8 @@ class AfcRouter(BaseRouter):
             in_port = in_port_of[id(flit)]
             self._input_ports[in_port].insert(flit)
             self.energy.buffer_write(self.node)
+            if self.obs is not None:
+                self.obs.on_buffer(self.node, flit, in_port, cycle)
             if already_switching and in_port is not Direction.LOCAL:
                 # The forward-switch notification (and its occupancy
                 # snapshot) already went out: reconcile the upstream

@@ -135,7 +135,29 @@ class FaultInjector:
         self.protection: Optional[ProtectionLayer] = None
         if protection is not None:
             self.protection = ProtectionLayer(net, protection, self._corrupt_ids)
+        #: Optional observability counters (repro.obs): resolved once by
+        #: ``attach_metrics`` so the fault paths stay at one ``is None``
+        #: check when no registry is attached.
+        self._m_events = None
+        self._m_corrupted = None
+        self._m_credits_lost = None
         net.pre_step_hook = self.on_cycle
+
+    # -- observability (repro.obs) ------------------------------------------
+    def attach_metrics(self, registry) -> None:
+        """Publish fault counters into an observability registry."""
+        self._m_events = registry.counter("noc_fault_events_total")
+        self._m_corrupted = registry.counter("noc_flits_corrupted_total")
+        self._m_credits_lost = registry.counter("noc_credits_lost_total")
+        if self.protection is not None:
+            self.protection.attach_metrics(registry)
+
+    def detach_metrics(self) -> None:
+        self._m_events = None
+        self._m_corrupted = None
+        self._m_credits_lost = None
+        if self.protection is not None:
+            self.protection.detach_metrics()
 
     # -- per-cycle driver ---------------------------------------------------
     def on_cycle(self, cycle: int) -> None:
@@ -161,6 +183,8 @@ class FaultInjector:
     # -- event application ---------------------------------------------------
     def _apply_event(self, ev: FaultEvent, cycle: int) -> None:
         self.stats.record_fault_event()
+        if self._m_events is not None:
+            self._m_events.inc()
         kind = ev.kind
         if kind is FaultKind.LINK_FLAP:
             self._down_pair(ev.a, ev.b, cycle + ev.duration)
@@ -231,10 +255,14 @@ class FaultInjector:
                 return False
             ids.add(fid)
         self.stats.record_flit_corrupted()
+        if self._m_corrupted is not None:
+            self._m_corrupted.inc()
         return True
 
     def _credit_lost(self) -> None:
         self.stats.record_credit_lost()
+        if self._m_credits_lost is not None:
+            self._m_credits_lost.inc()
 
     def _corrupt_in_flight(self, channel: Channel, limit: Optional[int]) -> int:
         marked = 0

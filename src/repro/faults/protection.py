@@ -118,10 +118,32 @@ class ProtectionLayer:
         #: pids abandoned after exhausting the retry budget.
         self.orphaned_pids: Set[int] = set()
         self._due_buffer: List[_Outstanding] = []
+        #: Optional observability counters (repro.obs), resolved once by
+        #: ``attach_metrics``; ``None`` keeps the protection paths at a
+        #: single ``is None`` check each.
+        self._m_discarded = None
+        self._m_retransmissions = None
+        self._m_orphaned = None
         for ni in net.interfaces:
             ni.on_offer = self._chain_offer(ni.on_offer)
             ni.guard = self
             ni.on_complete = self._on_complete
+
+    # -- observability (repro.obs) ------------------------------------------
+    def attach_metrics(self, registry) -> None:
+        """Publish protection counters into an observability registry."""
+        self._m_discarded = registry.counter(
+            "noc_corrupt_flits_discarded_total"
+        )
+        self._m_retransmissions = registry.counter(
+            "noc_protection_retransmissions_total"
+        )
+        self._m_orphaned = registry.counter("noc_packets_orphaned_total")
+
+    def detach_metrics(self) -> None:
+        self._m_discarded = None
+        self._m_retransmissions = None
+        self._m_orphaned = None
 
     # -- NI hooks ----------------------------------------------------------
     def _chain_offer(self, prev):
@@ -161,6 +183,8 @@ class ProtectionLayer:
             return True
         corrupt.discard(fid)
         self.stats.record_corrupt_flit_discarded()
+        if self._m_discarded is not None:
+            self._m_discarded.inc()
         if flit.epoch >= flit.packet.epoch:
             self._nack(flit.packet, cycle)
         return False
@@ -189,6 +213,8 @@ class ProtectionLayer:
         self._ledger.pop(packet.pid, None)
         self.orphaned_pids.add(packet.pid)
         self.stats.record_packet_orphaned(packet.num_flits)
+        if self._m_orphaned is not None:
+            self._m_orphaned.inc()
 
     def tick(self, cycle: int) -> None:
         """Per-cycle service (called by the injector's pre-step hook)."""
@@ -211,6 +237,8 @@ class ProtectionLayer:
             )
             entry.last_send = cycle
             self.stats.record_protection_retransmission()
+            if self._m_retransmissions is not None:
+                self._m_retransmissions.inc()
         if cycle % self.config.check_interval == 0 and self._ledger:
             deadline = cycle - self.config.ack_timeout
             due = self._due_buffer

@@ -17,7 +17,7 @@ import multiprocessing
 import statistics
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import nullcontext
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import (
     Callable,
     Dict,
@@ -40,6 +40,8 @@ from ..network.config import (
     NetworkConfig,
 )
 from ..network.flit import reset_packet_ids
+from ..obs.hub import Observability, ObservabilityOptions
+from ..obs.metrics import MetricsRegistry
 from ..simulation import Network
 from ..traffic.patterns import TrafficPattern
 from ..traffic.synthetic import OpenLoopSource, PacketMix
@@ -74,6 +76,41 @@ def _maybe_sanitize(net: Network, enabled: bool):
     if enabled:
         return Sanitizer(net)
     return nullcontext()
+
+
+def _make_observer(net: Network, options) -> Optional[Observability]:
+    """An attached :class:`~repro.obs.Observability` when ``options``
+    enables anything, else ``None`` (the hooks stay unset and the run
+    is bit-identical to an unobserved one)."""
+    if options is None or not options.enabled:
+        return None
+    return Observability(net, options).attach()
+
+
+def _merge_observability(payloads: Sequence[Optional[dict]]) -> Optional[dict]:
+    """Combine per-seed observability payloads into one result payload.
+
+    Metrics registries from *all* seeds merge (counters/histograms add,
+    in seed order, so the merged registry is identical at any ``--jobs``
+    because :func:`map_jobs` preserves input order).  Trace and profile
+    payloads come from a single seed by construction (see
+    :meth:`ExperimentRunner._obs_for_seed`) and pass through."""
+    present = [p for p in payloads if p]
+    if not present:
+        return None
+    merged: dict = {}
+    registries = [p["metrics"] for p in present if "metrics" in p]
+    if registries:
+        registry = MetricsRegistry()
+        for flat in registries:
+            registry.merge(MetricsRegistry.from_dict(flat))
+        merged["metrics"] = registry.to_dict()
+    for key in ("trace_summary", "trace", "profile", "probe"):
+        for payload in present:
+            if key in payload:
+                merged[key] = payload[key]
+                break
+    return merged or None
 
 
 def _mean_std(values: Sequence[float]) -> Tuple[float, float]:
@@ -126,6 +163,7 @@ class _ClosedLoopJob:
     workload: WorkloadProfile
     seed: int
     sanitize: bool = False
+    obs: Optional[ObservabilityOptions] = None
 
 
 @dataclass(frozen=True)
@@ -140,6 +178,10 @@ class _ClosedLoopSample:
     forward_switches: float
     reverse_switches: float
     gossip_switches: float
+    p50_packet_latency: float = 0.0
+    p95_packet_latency: float = 0.0
+    p99_packet_latency: float = 0.0
+    observability: Optional[dict] = None
 
 
 def _run_closed_loop_seed(job: _ClosedLoopJob) -> _ClosedLoopSample:
@@ -157,10 +199,15 @@ def _run_closed_loop_seed(job: _ClosedLoopJob) -> _ClosedLoopSample:
     system = MemorySystem(
         net, job.workload, machine=job.machine, seed=1000 + job.seed
     )
-    with _maybe_sanitize(net, job.sanitize):
-        system.run(job.warmup_cycles)
-        system.begin_measurement()
-        system.run(job.measure_cycles)
+    observer = _make_observer(net, job.obs)
+    try:
+        with _maybe_sanitize(net, job.sanitize):
+            system.run(job.warmup_cycles)
+            system.begin_measurement()
+            system.run(job.measure_cycles)
+    finally:
+        if observer is not None:
+            observer.detach()
     txns = max(1, system.transactions_completed)
     energy = net.measured_energy()
     stats = net.stats
@@ -185,6 +232,10 @@ def _run_closed_loop_seed(job: _ClosedLoopJob) -> _ClosedLoopSample:
         forward_switches=sum(m.forward_switches for m in modes),
         reverse_switches=sum(m.reverse_switches for m in modes),
         gossip_switches=stats.total_gossip_switches,
+        p50_packet_latency=stats.p50_packet_latency,
+        p95_packet_latency=stats.p95_packet_latency,
+        p99_packet_latency=stats.p99_packet_latency,
+        observability=observer.payload() if observer is not None else None,
     )
 
 
@@ -203,6 +254,7 @@ class _OpenLoopJob:
     source_queue_limit: Optional[int]
     seed: int
     sanitize: bool = False
+    obs: Optional[ObservabilityOptions] = None
 
 
 @dataclass(frozen=True)
@@ -216,6 +268,10 @@ class _OpenLoopSample:
     backpressured_fraction: float
     gossip_switches: float
     group_latency: Tuple[Tuple[str, float], ...]
+    p50_packet_latency: float = 0.0
+    p95_packet_latency: float = 0.0
+    p99_packet_latency: float = 0.0
+    observability: Optional[dict] = None
 
 
 def _run_open_loop_seed(job: _OpenLoopJob) -> _OpenLoopSample:
@@ -230,10 +286,15 @@ def _run_open_loop_seed(job: _OpenLoopJob) -> _OpenLoopSample:
         seed=2000 + job.seed,
         source_queue_limit=job.source_queue_limit,
     )
-    with _maybe_sanitize(net, job.sanitize):
-        source.run(job.warmup_cycles)
-        net.begin_measurement()
-        source.run(job.measure_cycles)
+    observer = _make_observer(net, job.obs)
+    try:
+        with _maybe_sanitize(net, job.sanitize):
+            source.run(job.warmup_cycles)
+            net.begin_measurement()
+            source.run(job.measure_cycles)
+    finally:
+        if observer is not None:
+            observer.detach()
     stats = net.stats
     energy = net.measured_energy()
     flits = max(1, stats.flits_ejected)
@@ -253,6 +314,10 @@ def _run_open_loop_seed(job: _OpenLoopJob) -> _OpenLoopSample:
         backpressured_fraction=stats.network_backpressured_fraction,
         gossip_switches=stats.total_gossip_switches,
         group_latency=tuple(groups),
+        p50_packet_latency=stats.p50_packet_latency,
+        p95_packet_latency=stats.p95_packet_latency,
+        p99_packet_latency=stats.p99_packet_latency,
+        observability=observer.payload() if observer is not None else None,
     )
 
 
@@ -370,6 +435,13 @@ class ClosedLoopResult:
     forward_switches: float
     reverse_switches: float
     gossip_switches: float
+    #: Histogram-backed latency percentiles (mean over seeds, cycles).
+    p50_packet_latency: float = 0.0
+    p95_packet_latency: float = 0.0
+    p99_packet_latency: float = 0.0
+    #: Merged observability payload (metrics from all seeds; trace /
+    #: profile from the first); ``None`` when observability is off.
+    observability: Optional[dict] = None
 
 
 @dataclass
@@ -417,6 +489,13 @@ class OpenLoopResult:
     #: Mean network latency restricted to packets destined to
     #: ``latency_by_group`` node groups (spatial-variation experiment).
     group_latency: Dict[str, float] = field(default_factory=dict)
+    #: Histogram-backed latency percentiles (mean over seeds, cycles).
+    p50_packet_latency: float = 0.0
+    p95_packet_latency: float = 0.0
+    p99_packet_latency: float = 0.0
+    #: Merged observability payload (metrics from all seeds; trace /
+    #: profile from the first); ``None`` when observability is off.
+    observability: Optional[dict] = None
 
 
 class ExperimentRunner:
@@ -432,6 +511,7 @@ class ExperimentRunner:
         jobs: int = 1,
         base_seed: int = 0,
         sanitize: bool = False,
+        obs: Optional[ObservabilityOptions] = None,
     ) -> None:
         self.config = config if config is not None else NetworkConfig()
         self.machine = machine
@@ -449,9 +529,25 @@ class ExperimentRunner:
         #: Attach the runtime invariant sanitizer to every (non-faulted)
         #: run; a violation raises through :func:`map_jobs`.
         self.sanitize = sanitize
+        #: Observability options applied to closed/open-loop runs;
+        #: ``None`` (the default) leaves every hook unset.
+        self.obs = obs
 
     def _seed_range(self) -> range:
         return range(self.base_seed, self.base_seed + self.seeds)
+
+    def _obs_for_seed(self, index: int) -> Optional[ObservabilityOptions]:
+        """Per-seed observability: metrics come from every seed (they
+        merge), but trace / profiler / probe payloads only make sense
+        for a single run, so only the first seed collects them."""
+        if self.obs is None or not self.obs.enabled:
+            return None
+        if index == 0:
+            return self.obs
+        trimmed = replace(
+            self.obs, trace=False, profile=False, probe_every=0
+        )
+        return trimmed if trimmed.enabled else None
 
     # -- closed loop ----------------------------------------------------------
     def run_closed_loop(
@@ -469,8 +565,9 @@ class ExperimentRunner:
                     workload=workload,
                     seed=seed,
                     sanitize=self.sanitize,
+                    obs=self._obs_for_seed(index),
                 )
-                for seed in self._seed_range()
+                for index, seed in enumerate(self._seed_range())
             ],
             self.jobs,
         )
@@ -510,6 +607,18 @@ class ExperimentRunner:
             gossip_switches=statistics.fmean(
                 s.gossip_switches for s in samples
             ),
+            p50_packet_latency=statistics.fmean(
+                s.p50_packet_latency for s in samples
+            ),
+            p95_packet_latency=statistics.fmean(
+                s.p95_packet_latency for s in samples
+            ),
+            p99_packet_latency=statistics.fmean(
+                s.p99_packet_latency for s in samples
+            ),
+            observability=_merge_observability(
+                [s.observability for s in samples]
+            ),
         )
 
     # -- open loop ----------------------------------------------------------------
@@ -544,8 +653,9 @@ class ExperimentRunner:
                     source_queue_limit=source_queue_limit,
                     seed=seed,
                     sanitize=self.sanitize,
+                    obs=self._obs_for_seed(index),
                 )
-                for seed in self._seed_range()
+                for index, seed in enumerate(self._seed_range())
             ],
             self.jobs,
         )
@@ -590,6 +700,18 @@ class ExperimentRunner:
                 name: statistics.fmean(vals)
                 for name, vals in group_sums.items()
             },
+            p50_packet_latency=statistics.fmean(
+                s.p50_packet_latency for s in samples
+            ),
+            p95_packet_latency=statistics.fmean(
+                s.p95_packet_latency for s in samples
+            ),
+            p99_packet_latency=statistics.fmean(
+                s.p99_packet_latency for s in samples
+            ),
+            observability=_merge_observability(
+                [s.observability for s in samples]
+            ),
         )
 
     # -- faulted runs ----------------------------------------------------------

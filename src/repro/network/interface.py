@@ -29,6 +29,7 @@ class NetworkInterface:
         "on_activity",
         "guard",
         "on_complete",
+        "obs",
         "_queues",
         "_queued",
         "reassembly",
@@ -58,6 +59,10 @@ class NetworkInterface:
         #: Optional observer of every completed packet, called before
         #: the packet is handed to the client (protection-layer ledger).
         self.on_complete: Optional[Callable[[CompletedPacket], None]] = None
+        #: Optional flit-lifecycle sink (repro.obs.Observability): sees
+        #: every injection and every completed packet.  ``None`` keeps
+        #: both paths at a single ``is None`` check.
+        self.obs = None
         self._queues: Dict[VirtualNetwork, Deque[Flit]] = {
             vnet: deque() for vnet in VirtualNetwork
         }
@@ -101,6 +106,8 @@ class NetworkInterface:
         flit = self._queues[vnet].popleft()
         self._queued -= 1
         flit.injected_at = cycle
+        if self.obs is not None:
+            self.obs.on_inject(self.node, flit, cycle)
         return flit
 
     def offer_retransmission(self, packet: Packet, purge: bool = True) -> int:
@@ -174,6 +181,8 @@ class NetworkInterface:
             total_hops=done.hops,
             total_deflections=done.deflections,
         )
+        if self.obs is not None:
+            self.obs.on_complete(self.node, done, cycle)
         if self.on_packet is not None:
             self.on_packet(done)
         else:

@@ -13,6 +13,7 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import DefaultDict, Dict, List
 
+from ..obs.metrics import Histogram
 from .flit import Packet, VirtualNetwork
 
 
@@ -73,6 +74,10 @@ class StatsCollector:
         self.dispatched_flit_hops = 0
         self.packets_per_vnet: DefaultDict[VirtualNetwork, int] = defaultdict(int)
         self.latencies: List[int] = []
+        #: Always-on packet-latency distribution (repro.obs.Histogram):
+        #: three integer adds per completed packet, backing the
+        #: p50/p95/p99 properties without a sort of ``latencies``.
+        self.latency_histogram = Histogram()
         self.mode_stats: Dict[int, RouterModeStats] = defaultdict(RouterModeStats)
         self.per_node_ejected: DefaultDict[int, int] = defaultdict(int)
         self.per_node_latency_sum: DefaultDict[int, int] = defaultdict(int)
@@ -117,6 +122,7 @@ class StatsCollector:
         latency = completed_at - packet.created_at
         self.packet_latency_sum += latency
         self.latencies.append(latency)
+        self.latency_histogram.observe(latency)
         self.network_latency_sum += completed_at - first_injected_at
         self.network_latency_samples += 1
         self.hops_sum += total_hops
@@ -236,6 +242,21 @@ class StatsCollector:
         if not self.reroutes:
             return 0.0
         return self.reroute_cycles_sum / self.reroutes
+
+    @property
+    def p50_packet_latency(self) -> float:
+        """Median packet latency (histogram-approximate, cycles)."""
+        return self.latency_histogram.quantile(0.50)
+
+    @property
+    def p95_packet_latency(self) -> float:
+        """95th-percentile packet latency (histogram-approximate)."""
+        return self.latency_histogram.quantile(0.95)
+
+    @property
+    def p99_packet_latency(self) -> float:
+        """99th-percentile packet latency (histogram-approximate)."""
+        return self.latency_histogram.quantile(0.99)
 
     def latency_percentile(self, pct: float) -> float:
         """The ``pct``-th percentile of packet latency (0 < pct <= 100)."""

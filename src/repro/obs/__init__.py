@@ -1,0 +1,61 @@
+"""Observability: flit-lifecycle tracing, metrics, and profiling.
+
+Three opt-in consumers behind one attachable hub (see
+docs/OBSERVABILITY.md):
+
+* :class:`FlitTracer` — per-packet lifecycle spans in a preallocated
+  ring buffer, exported as Chrome trace-event JSON for Perfetto, plus
+  per-packet hop-path dumps for debugging misroutes;
+* :class:`MetricsRegistry` — :class:`Counter`/:class:`Gauge`/
+  :class:`Histogram` primitives with per-router/per-vnet labels and a
+  deterministic cross-process ``merge`` for the parallel harness;
+* :class:`PipelineProfiler` — wall-clock self time of router pipeline
+  stages and engine phases per cycle bucket.
+
+When no :class:`Observability` hub is attached, every hook in the
+simulator stays ``None`` and results are bit-identical to an
+un-instrumented run (pinned by tests, like the sanitizer hooks).
+
+The metrics primitives import eagerly (the stats layer uses
+:class:`Histogram` unconditionally); the tracer, profiler and hub load
+lazily so ``import repro`` does not pay for them.
+"""
+
+from .metrics import (
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "Counter",
+    "FlitTracer",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "Observability",
+    "ObservabilityOptions",
+    "PipelineProfiler",
+]
+
+_LAZY = {
+    "FlitTracer": "trace",
+    "Observability": "hub",
+    "ObservabilityOptions": "hub",
+    "PipelineProfiler": "profiler",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    module = import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value

@@ -1,0 +1,338 @@
+"""Metric primitives and the mergeable registry.
+
+Three primitives in the Prometheus mold, adapted to deterministic
+simulation use:
+
+* :class:`Counter` — a monotone event count (``inc``);
+* :class:`Gauge` — a point-in-time value (``set``);
+* :class:`Histogram` — fixed-bucket distribution (``observe``) with
+  approximate quantiles, used both by the observability hub (per-vnet
+  packet-latency distributions) and by
+  :class:`~repro.network.stats.StatsCollector` for its p50/p95/p99
+  helpers.
+
+A :class:`MetricsRegistry` names metrics and carries their label sets
+(``router=3``, ``vnet=DATA``, ...).  Registries are plain data: they
+pickle across the process-parallel harness, ``merge`` combines two of
+them (counters and histograms add, gauges last-write-win), and
+``to_dict``/``from_dict`` round-trip through JSON.  Because every
+per-seed simulation is deterministic and :func:`repro.harness.
+experiment.map_jobs` preserves input order, a merged registry is
+bit-identical at any ``--jobs`` count.
+
+This module deliberately imports nothing from the simulator, so the
+network layer (``network/stats.py``) can use the histogram primitive
+without an import cycle.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+]
+
+#: Default bucket upper bounds for packet-latency histograms, in cycles.
+#: Roughly exponential: fine at the zero-load latency floor (tens of
+#: cycles), coarse in the saturated tail.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    8.0, 12.0, 16.0, 24.0, 32.0, 48.0, 64.0, 96.0, 128.0, 192.0,
+    256.0, 384.0, 512.0, 768.0, 1024.0, 1536.0, 2048.0, 3072.0,
+    4096.0, 8192.0, 16384.0,
+)
+
+#: Sorted ``(key, value)`` pairs; the canonical label identity.
+Labels = Tuple[Tuple[str, str], ...]
+
+
+def _canon_labels(labels: Mapping[str, object]) -> Labels:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _label_suffix(labels: Labels) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return "{" + inner + "}"
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Labels = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}{_label_suffix(self.labels)}={self.value})"
+
+
+class Gauge:
+    """A point-in-time value (last write wins, including on merge)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Labels = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name}{_label_suffix(self.labels)}={self.value})"
+
+
+class Histogram:
+    """Fixed-bucket distribution with approximate quantiles.
+
+    ``bounds`` are the inclusive upper edges of the finite buckets; one
+    implicit overflow bucket catches everything above the last bound.
+    ``observe`` is an O(log buckets) bisect plus three integer adds —
+    cheap enough for always-on use in :class:`StatsCollector`.
+
+    Quantiles interpolate linearly inside the containing bucket (the
+    overflow bucket interpolates toward the observed maximum), so they
+    are approximate; exact percentiles remain available from the
+    latency log where one is kept.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Iterable[float] = LATENCY_BUCKETS) -> None:
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in bounds)
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The approximate ``q``-quantile (0 <= q <= 1)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            return 0.0
+        assert self.min is not None and self.max is not None
+        target = q * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.counts):
+            if not bucket_count:
+                continue
+            if cumulative + bucket_count >= target:
+                lo = self.bounds[i - 1] if i > 0 else 0.0
+                hi = self.bounds[i] if i < len(self.bounds) else self.max
+                lo = max(lo, self.min if cumulative == 0 else lo)
+                hi = min(hi, self.max)
+                if hi <= lo:
+                    return float(hi)
+                frac = (target - cumulative) / bucket_count
+                return float(lo + (hi - lo) * frac)
+            cumulative += bucket_count
+        return float(self.max)
+
+    def merge(self, other: "Histogram") -> None:
+        if self.bounds != other.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None:
+            self.min = other.min if self.min is None else min(self.min, other.min)
+        if other.max is not None:
+            self.max = other.max if self.max is None else max(self.max, other.max)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return (
+            self.bounds == other.bounds
+            and self.counts == other.counts
+            and self.count == other.count
+            and self.total == other.total  # simlint: disable=float-equality
+            and self.min == other.min
+            and self.max == other.max
+        )
+
+    __hash__ = None  # type: ignore[assignment]  # mutable container
+
+    def to_dict(self) -> dict:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Histogram":
+        hist = cls(data["bounds"])  # type: ignore[arg-type]
+        hist.counts = [int(c) for c in data["counts"]]  # type: ignore[union-attr]
+        hist.count = int(data["count"])  # type: ignore[arg-type]
+        hist.total = float(data["total"])  # type: ignore[arg-type]
+        hist.min = None if data["min"] is None else float(data["min"])  # type: ignore[arg-type]
+        hist.max = None if data["max"] is None else float(data["max"])  # type: ignore[arg-type]
+        return hist
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram(count={self.count}, mean={self.mean:.1f})"
+
+
+#: Metric identity inside a registry.
+_Key = Tuple[str, Labels]
+
+
+class MetricsRegistry:
+    """Named, labelled metrics with additive cross-process merge.
+
+    Naming scheme (see docs/OBSERVABILITY.md): ``noc_`` prefix,
+    ``_total`` suffix for counters, snake_case, labels for the
+    dimension (``router``, ``vnet``, ``kind``, ``seed``).
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[_Key, Counter] = {}
+        self._gauges: Dict[_Key, Gauge] = {}
+        self._histograms: Dict[_Key, Histogram] = {}
+
+    # -- creation / lookup ---------------------------------------------------
+    def counter(self, name: str, **labels: object) -> Counter:
+        key = (name, _canon_labels(labels))
+        counter = self._counters.get(key)
+        if counter is None:
+            counter = self._counters[key] = Counter(name, key[1])
+        return counter
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key = (name, _canon_labels(labels))
+        gauge = self._gauges.get(key)
+        if gauge is None:
+            gauge = self._gauges[key] = Gauge(name, key[1])
+        return gauge
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Iterable[float] = LATENCY_BUCKETS,
+        **labels: object,
+    ) -> Histogram:
+        key = (name, _canon_labels(labels))
+        hist = self._histograms.get(key)
+        if hist is None:
+            hist = self._histograms[key] = Histogram(bounds)
+        return hist
+
+    def __len__(self) -> int:
+        return (
+            len(self._counters) + len(self._gauges) + len(self._histograms)
+        )
+
+    # -- merge ---------------------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other`` into this registry (in place; returns self).
+
+        Counters and histograms add; gauges take the incoming value
+        (last write wins).  Merging per-seed registries in seed order
+        therefore yields the same result at any worker count.
+        """
+        for (name, labels), counter in other._counters.items():
+            self.counter(name, **dict(labels)).inc(counter.value)
+        for (name, labels), gauge in other._gauges.items():
+            self.gauge(name, **dict(labels)).set(gauge.value)
+        for (name, labels), hist in other._histograms.items():
+            self.histogram(name, hist.bounds, **dict(labels)).merge(hist)
+        return self
+
+    # -- serialisation ---------------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-ready, deterministically ordered snapshot."""
+        return {
+            "counters": {
+                f"{name}{_label_suffix(labels)}": c.value
+                for (name, labels), c in sorted(self._counters.items())
+            },
+            "gauges": {
+                f"{name}{_label_suffix(labels)}": g.value
+                for (name, labels), g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                f"{name}{_label_suffix(labels)}": h.to_dict()
+                for (name, labels), h in sorted(self._histograms.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "MetricsRegistry":
+        registry = cls()
+        for flat, value in data.get("counters", {}).items():  # type: ignore[union-attr]
+            name, labels = _parse_flat(flat)
+            registry.counter(name, **labels).inc(int(value))
+        for flat, value in data.get("gauges", {}).items():  # type: ignore[union-attr]
+            name, labels = _parse_flat(flat)
+            registry.gauge(name, **labels).set(float(value))
+        for flat, payload in data.get("histograms", {}).items():  # type: ignore[union-attr]
+            name, labels = _parse_flat(flat)
+            hist = Histogram.from_dict(payload)
+            registry.histogram(name, hist.bounds, **labels).merge(hist)
+        return registry
+
+    def rows(self) -> List[Tuple[str, str]]:
+        """(metric, rendered value) rows for the text table."""
+        out: List[Tuple[str, str]] = []
+        for (name, labels), c in sorted(self._counters.items()):
+            out.append((f"{name}{_label_suffix(labels)}", str(c.value)))
+        for (name, labels), g in sorted(self._gauges.items()):
+            out.append((f"{name}{_label_suffix(labels)}", f"{g.value:.4g}"))
+        for (name, labels), h in sorted(self._histograms.items()):
+            rendered = (
+                f"count={h.count} mean={h.mean:.1f} "
+                f"p50={h.quantile(0.50):.1f} p95={h.quantile(0.95):.1f} "
+                f"p99={h.quantile(0.99):.1f}"
+            )
+            out.append((f"{name}{_label_suffix(labels)}", rendered))
+        return out
+
+
+def _parse_flat(flat: str) -> Tuple[str, Dict[str, str]]:
+    """Invert the ``name{k=v,...}`` flattening of :meth:`to_dict`."""
+    if "{" not in flat:
+        return flat, {}
+    name, _, rest = flat.partition("{")
+    body = rest.rstrip("}")
+    labels: Dict[str, str] = {}
+    if body:
+        for part in body.split(","):
+            key, _, value = part.partition("=")
+            labels[key] = value
+    return name, labels

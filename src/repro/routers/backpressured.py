@@ -255,6 +255,8 @@ class BackpressuredRouter(BaseRouter):
             self._bypass_pending.add(flit)
         else:
             self.energy.buffer_write(self.node)
+        if self.obs is not None:
+            self.obs.on_arrive(self.node, flit, in_port, True, cycle)
 
     def _accept_credit(
         self, out_port: Direction, credit: CreditMessage, cycle: int

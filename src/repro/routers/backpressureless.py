@@ -185,6 +185,8 @@ class BackpressurelessRouter(BaseRouter):
     def _accept_flit(self, flit: Flit, in_port: Direction, cycle: int) -> None:
         self._latched.append(flit)
         self.energy.latch(self.node)
+        if self.obs is not None:
+            self.obs.on_arrive(self.node, flit, in_port, False, cycle)
 
     # -- per-cycle operation ----------------------------------------------------
     def step(self, cycle: int) -> None:

@@ -141,6 +141,11 @@ class Network:
         #: with the cycle number (repro.faults.FaultInjector).  One
         #: ``is None`` check per cycle when absent.
         self.pre_step_hook: Optional[Callable[[int], None]] = None
+        #: Optional per-cycle hook run after the step phase, called with
+        #: the cycle number that just completed
+        #: (repro.analysis.probes.TimeSeriesProbe).  One ``is None``
+        #: check per cycle when absent.
+        self.post_step_hook: Optional[Callable[[int], None]] = None
         for router in self.routers:
             if isinstance(router, DroppingRouter):
                 router.drop_notify = self._packet_dropped
@@ -236,6 +241,8 @@ class Network:
             self._step_fast()
         else:
             self._step_naive()
+        if self.post_step_hook is not None:
+            self.post_step_hook(self.cycle - 1)
 
     def _step_naive(self) -> None:
         """Reference loop: every router delivers and steps every cycle."""

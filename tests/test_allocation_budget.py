@@ -28,6 +28,7 @@ import pytest
 from repro.analysis.sanitizer import Sanitizer
 from repro.faults import FaultInjector, FaultSchedule
 from repro.network.config import Design, NetworkConfig
+from repro.obs.hub import Observability
 from repro.simulation import Network
 from repro.traffic.synthetic import uniform_random_traffic
 
@@ -47,6 +48,7 @@ def _trace_steady_state(
     design: Design,
     with_injector: bool = False,
     with_detached_sanitizer: bool = False,
+    with_detached_observability: bool = False,
 ):
     net = Network(
         NetworkConfig(width=8, height=8), design, seed=1, engine="active"
@@ -58,6 +60,17 @@ def _trace_steady_state(
         # pre_step_hook back to None, nothing retained per cycle.
         Sanitizer(net).attach().detach()
         assert net.pre_step_hook is None
+    if with_detached_observability:
+        # Same contract for the observability hub: after detach every
+        # ``obs`` hook is None again and no wrapper shadows a method.
+        observer = Observability(
+            net, trace=True, metrics=True, profile=True
+        )
+        observer.attach()
+        observer.detach()
+        assert all(r.obs is None for r in net.routers)
+        assert all(ni.obs is None for ni in net.interfaces)
+        assert "step" not in vars(net)
     source = uniform_random_traffic(
         net, RATE, seed=7, source_queue_limit=32
     )
@@ -143,4 +156,30 @@ def test_detached_sanitizer_hot_path_within_same_budget(design):
         f"{design.value}+sanitizer-off: transient high-water "
         f"{transient:.0f} B exceeds the {TRANSIENT_BUDGET} B budget — "
         "the sanitizer-off path has added per-cycle churn"
+    )
+
+
+@pytest.mark.parametrize(
+    "design",
+    [Design.BACKPRESSURED, Design.AFC],
+    ids=lambda d: d.value,
+)
+def test_detached_observability_hot_path_within_same_budget(design):
+    """Observability attached and detached again (trace + metrics +
+    profiler) must leave the per-cycle path exactly as it found it: all
+    ``obs`` hooks back to None, wrapped stage methods restored to the
+    class originals, and the run fitting the *same* allocation budgets
+    as a never-observed network."""
+    retained_per_cycle, transient = _trace_steady_state(
+        design, with_detached_observability=True
+    )
+    assert retained_per_cycle < RETAINED_BUDGET_PER_CYCLE, (
+        f"{design.value}+obs-off: retained {retained_per_cycle:.0f} "
+        f"B/cycle exceeds the {RETAINED_BUDGET_PER_CYCLE} B/cycle budget "
+        "— the observability-off path is allocating per cycle"
+    )
+    assert transient < TRANSIENT_BUDGET, (
+        f"{design.value}+obs-off: transient high-water {transient:.0f} B "
+        f"exceeds the {TRANSIENT_BUDGET} B budget — the observability-off "
+        "path has added per-cycle churn"
     )

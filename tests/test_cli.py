@@ -188,3 +188,105 @@ class TestJsonOutput:
         for stats in designs.values():
             assert stats["delivered_packet_rate"] > 0.9
             assert stats["design"] in designs
+
+
+class TestObservabilityFlags:
+    """--trace / --metrics / --profile-sim / --probe-every wiring and
+    the ``trace`` subcommand (docs/OBSERVABILITY.md)."""
+
+    FAST = ["--warmup", "200", "--measure", "500", "--seeds", "1"]
+
+    def test_run_with_metrics_and_profile(self, capsys):
+        code = main(
+            ["run", "--workload", "water", "--metrics", "--profile-sim"]
+            + self.FAST
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "noc_flits_dispatched_total{router=0}" in out
+        assert "noc_packet_latency_cycles" in out
+        assert "pipeline profile" in out
+        assert "hottest router" in out
+
+    def test_run_trace_and_probe_write_files(self, tmp_path, capsys):
+        trace_out = tmp_path / "t.json"
+        probe_out = tmp_path / "p.json"
+        code = main(
+            [
+                "run", "--workload", "water",
+                "--trace", "--trace-out", str(trace_out),
+                "--probe-every", "100", "--probe-out", str(probe_out),
+            ]
+            + self.FAST
+        )
+        assert code == 0
+        trace = json.loads(trace_out.read_text())
+        assert trace["traceEvents"]
+        assert {e["ph"] for e in trace["traceEvents"]} >= {"M", "X", "i"}
+        probe = json.loads(probe_out.read_text())
+        assert probe["every"] == 100
+        assert len(probe["cycles"]) >= 3
+
+    def test_run_json_includes_percentiles_and_metrics(self, capsys):
+        code = main(
+            ["run", "--workload", "water", "--metrics", "--json"] + self.FAST
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["p50_packet_latency"] > 0
+        assert (
+            payload["p50_packet_latency"]
+            <= payload["p95_packet_latency"]
+            <= payload["p99_packet_latency"]
+        )
+        counters = payload["observability"]["metrics"]["counters"]
+        assert counters["noc_flits_ejected_total{router=0}"] > 0
+        # The bulky raw trace never rides along in --json output.
+        assert "trace" not in payload["observability"]
+
+    def test_compare_trace_writes_per_design_files(self, tmp_path, capsys):
+        trace_out = tmp_path / "t.json"
+        code = main(
+            [
+                "compare", "--workload", "water",
+                "--trace", "--trace-out", str(trace_out),
+            ]
+            + self.FAST
+        )
+        assert code == 0
+        assert (tmp_path / "t-afc.json").exists()
+        assert (tmp_path / "t-backpressured.json").exists()
+
+    def test_trace_subcommand_hits_the_gossip_scenario(self, tmp_path, capsys):
+        out = tmp_path / "hotspot.json"
+        code = main(["trace", "--out", str(out), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        summary = payload["summary"]
+        assert summary["forward_switches"] >= 1
+        assert summary["gossip_switches"] >= 1
+        assert payload["most_deflected"]
+        pid, count = payload["most_deflected"][0]
+        assert count >= 1
+        path = payload["hop_paths"][str(pid)]
+        assert any(
+            row["event"] == "dispatch" and row["deflected"] for row in path
+        )
+        document = json.loads(out.read_text())
+        assert document["traceEvents"]
+        names = {e["name"] for e in document["traceEvents"]}
+        assert "gossip switch" in names
+
+    def test_trace_subcommand_table_mode(self, tmp_path, capsys):
+        out = tmp_path / "t.json"
+        code = main(
+            [
+                "trace", "--pattern", "uniform", "--rate", "0.2",
+                "--cycles", "400", "--out", str(out),
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "gossip_switches" in output
+        assert "ui.perfetto.dev" in output
+        assert out.exists()

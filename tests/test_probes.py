@@ -1,0 +1,103 @@
+"""Direct unit tests for repro.analysis.probes.
+
+:func:`channel_utilization` only duck-types ``network.channels`` with
+``flit_traversals`` / ``upstream`` / ``downstream``, so it is tested
+here against stub channels with hand-picked counts — uniform load must
+read as perfectly balanced (imbalance 0) and a hotspot as skewed —
+independent of any simulation.  The probe's hook-driven mode
+(``attach``/``detach`` over ``Network.post_step_hook``) and its JSON
+export round out the CLI wiring.
+"""
+
+import pytest
+
+from repro import Design, Network, NetworkConfig
+from repro.analysis.probes import TimeSeriesProbe, channel_utilization
+from repro.traffic.synthetic import uniform_random_traffic
+
+
+class StubChannel:
+    def __init__(self, upstream, downstream, traversals):
+        self.upstream = upstream
+        self.downstream = downstream
+        self.flit_traversals = traversals
+
+
+class StubNetwork:
+    def __init__(self, counts):
+        self.channels = [
+            StubChannel(i, i + 1, count) for i, count in enumerate(counts)
+        ]
+
+
+class TestChannelUtilizationUnit:
+    def test_uniform_spread_has_zero_imbalance(self):
+        util = channel_utilization(StubNetwork([40, 40, 40, 40]))
+        assert util.total_traversals == 160
+        assert util.mean_per_channel == 40.0
+        assert util.max_per_channel == util.min_per_channel == 40
+        assert util.imbalance == 0.0
+
+    def test_hotspot_spread_is_flagged_as_imbalanced(self):
+        uniform = channel_utilization(StubNetwork([40, 40, 40, 40]))
+        hotspot = channel_utilization(StubNetwork([130, 10, 10, 10]))
+        assert hotspot.total_traversals == uniform.total_traversals
+        assert hotspot.imbalance > 1.0 > uniform.imbalance
+        assert hotspot.max_per_channel == 130
+        assert hotspot.min_per_channel == 10
+
+    def test_imbalance_is_coefficient_of_variation(self):
+        util = channel_utilization(StubNetwork([10, 30]))
+        # mean 20, stddev 10 -> CV 0.5.
+        assert util.imbalance == pytest.approx(0.5)
+
+    def test_per_channel_keys_use_endpoint_ids(self):
+        util = channel_utilization(StubNetwork([7, 9]))
+        assert util.per_channel == {"0->1": 7, "1->2": 9}
+
+    def test_no_channels_raises(self):
+        with pytest.raises(ValueError):
+            channel_utilization(StubNetwork([]))
+
+    def test_all_idle_has_zero_imbalance(self):
+        util = channel_utilization(StubNetwork([0, 0, 0]))
+        assert util.total_traversals == 0
+        assert util.imbalance == 0.0
+
+
+class TestProbeHookMode:
+    def test_attach_samples_via_post_step_hook(self):
+        net = Network(NetworkConfig(), Design.AFC, seed=0)
+        probe = TimeSeriesProbe(net, every=50)
+        probe.add("throughput", lambda n: n.stats.throughput)
+        source = uniform_random_traffic(
+            net, 0.2, seed=1, source_queue_limit=100
+        )
+        with probe:
+            assert net.post_step_hook is not None
+            source.run(300)
+        assert net.post_step_hook is None
+        assert len(probe) >= 6
+        assert len(probe.series["throughput"]) == len(probe.cycles)
+
+    def test_attach_refuses_an_occupied_hook(self):
+        net = Network(NetworkConfig(), Design.AFC, seed=0)
+        net.post_step_hook = lambda cycle: None
+        with pytest.raises(ValueError):
+            TimeSeriesProbe(net, every=50).attach()
+
+    def test_to_dict_is_json_ready(self):
+        net = Network(NetworkConfig(), Design.AFC, seed=0)
+        probe = TimeSeriesProbe(net, every=100)
+        probe.add_builtin_afc_metrics()
+        with probe:
+            net.run(250)
+        payload = probe.to_dict()
+        assert payload["every"] == 100
+        assert payload["cycles"] == probe.cycles
+        assert set(payload["series"]) == {
+            "backpressured_fraction",
+            "mean_ewma",
+        }
+        for series in payload["series"].values():
+            assert len(series) == len(payload["cycles"])

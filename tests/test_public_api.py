@@ -14,6 +14,7 @@ PUBLIC_MODULES = [
     "repro.harness",
     "repro.memsys",
     "repro.network",
+    "repro.obs",
     "repro.routers",
     "repro.traffic",
 ]
