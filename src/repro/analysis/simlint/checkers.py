@@ -168,6 +168,10 @@ class _FileChecker(ast.NodeVisitor):
         self.violations: List[Violation] = []
         self._random_aliases: Set[str] = set()
         self._numpy_aliases: Set[str] = set()
+        #: ``np.random`` attribute nodes that belong to an explicit
+        #: generator construction (``np.random.default_rng(seed)``);
+        #: these are exempt from the blanket ``numpy-random`` rule.
+        self._numpy_generator_nodes: Set[int] = set()
         self._os_aliases: Set[str] = set()
         self._random_class_names: Set[str] = set()
         self._float_names: Set[str] = set()
@@ -317,6 +321,28 @@ class _FileChecker(ast.NodeVisitor):
                 "random.Random() constructed without a seed — seed it "
                 "from the run configuration",
             )
+        # np.random.default_rng(...) / np.random.Generator(...): the
+        # vectorized-code analogue of random.Random(...).  With an
+        # explicit seed argument this is the *sanctioned* numpy RNG
+        # idiom, so the blanket numpy-random rule stands down; without
+        # one it is the same determinism hazard as random.Random().
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in ("default_rng", "Generator")
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == "random"
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id in self._numpy_aliases
+        ):
+            self._numpy_generator_nodes.add(id(func.value))
+            if not node.args and not node.keywords:
+                self._report(
+                    "numpy-unseeded-generator",
+                    node,
+                    f"'np.random.{func.attr}()' constructed without an "
+                    "explicit seed — OS-entropy seeding is "
+                    "nondeterministic across runs",
+                )
         self.generic_visit(node)
 
     def visit_Attribute(self, node: ast.Attribute) -> None:
@@ -332,7 +358,11 @@ class _FileChecker(ast.NodeVisitor):
                     f"'random.{node.attr}' uses the shared module-level "
                     "RNG stream — use a seeded random.Random instance",
                 )
-            elif base in self._numpy_aliases and node.attr == "random":
+            elif (
+                base in self._numpy_aliases
+                and node.attr == "random"
+                and id(node) not in self._numpy_generator_nodes
+            ):
                 self._report(
                     "numpy-random",
                     node,

@@ -57,6 +57,11 @@ RULES: Tuple[Rule, ...] = (
         "numpy.random used (global or platform-dependent RNG state)",
     ),
     Rule(
+        "numpy-unseeded-generator",
+        SCOPE_ALL,
+        "np.random generator constructed without an explicit seed",
+    ),
+    Rule(
         "wallclock",
         SCOPE_ALL,
         "time/datetime/os.urandom used in simulation code",
@@ -117,6 +122,12 @@ DEFAULT_HOT_PATH_CLASSES: Mapping[str, FrozenSet[str]] = {
         }
     ),
     "faults/injector.py": frozenset({"ChannelFault"}),
+    # The vectorized batch engine: structure-of-arrays classes whose
+    # attributes are numpy buffers.  __slots__ still applies (array
+    # *rebinding* outside __init__ is the hazard the rules catch; the
+    # hot loop mutates array contents in place, which the rules allow).
+    "engine/mt.py": frozenset({"BatchedMT19937"}),
+    "engine/vector.py": frozenset({"VectorEngine"}),
 }
 
 

@@ -153,6 +153,18 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="run under cProfile and print the top 20 cumulative entries",
     )
+    parser.add_argument(
+        "--engine",
+        choices=("naive", "active", "vector"),
+        default="active",
+        help=(
+            "cycle engine: 'active' (default) skips idle routers, "
+            "'naive' steps every router, 'vector' batch-steps the whole "
+            "mesh through numpy (falls back to 'active' for "
+            "not-yet-vectorized designs and hooked runs); results are "
+            "bit-identical across engines"
+        ),
+    )
 
 
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
@@ -274,6 +286,7 @@ def _runner(args: argparse.Namespace) -> ExperimentRunner:
         base_seed=args.base_seed,
         sanitize=getattr(args, "sanitize", False),
         obs=_obs_options(args),
+        engine=getattr(args, "engine", "active"),
     )
 
 

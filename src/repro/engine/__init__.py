@@ -1,0 +1,45 @@
+"""Vectorized batch cycle engine (``engine="vector"``).
+
+This package holds the structure-of-arrays engine that advances whole
+pipeline stages as numpy passes over all routers at once, plus the
+batched Mersenne-Twister replica that keeps its draws bit-compatible
+with the per-router ``random.Random`` streams.
+
+numpy is an *optional* dependency of the simulator: the scalar engines
+(``naive``, ``active``) must import and run without it, so nothing in
+``repro`` imports this package at module load time.  :func:`require_numpy`
+is the single gate — ``Network(engine="vector")`` calls it up front and
+raises a clear :class:`ImportError` instead of a deep numpy traceback.
+"""
+
+from __future__ import annotations
+
+
+def require_numpy():
+    """Import and return numpy, with a clear error when it is absent."""
+    try:
+        import numpy
+    except ImportError as exc:  # pragma: no cover - numpy is installed in CI
+        raise ImportError(
+            'engine="vector" requires numpy (the structure-of-arrays '
+            "batch engine stores network state in numpy buffers). "
+            'Install it with `pip install numpy`, or use engine="active" '
+            '/ engine="naive" — the scalar engines are dependency-free.'
+        ) from exc
+    return numpy
+
+
+def vector_ineligibility(net) -> "str | None":
+    """Why ``net`` cannot be adopted by the vector engine (None if it can)."""
+    from .vector import ineligibility
+
+    return ineligibility(net)
+
+
+def build_vector_engine(net):
+    from .vector import VectorEngine
+
+    return VectorEngine(net)
+
+
+__all__ = ["require_numpy", "vector_ineligibility", "build_vector_engine"]

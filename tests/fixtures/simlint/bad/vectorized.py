@@ -1,0 +1,12 @@
+"""Deliberately hazardous fixture: numpy RNG determinism rules.
+
+Asserted by tests/test_simlint.py — keep line numbers stable.
+"""
+
+import numpy as np
+
+rng = np.random.default_rng()  # line 8: numpy-unseeded-generator
+
+
+def jitter(n):
+    return np.random.rand(n)  # line 12: numpy-random

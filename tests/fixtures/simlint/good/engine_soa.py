@@ -1,0 +1,21 @@
+"""Clean fixture: vectorized-code idioms the numpy rules steer toward
+(seeded generators, structure-of-arrays classes whose ``__slots__``
+hold numpy buffers mutated in place on the hot path)."""
+
+import numpy as np
+
+
+def make_generator(seed: int):
+    return np.random.default_rng(seed)
+
+
+class SoAState:  # simlint: hot-path
+    __slots__ = ("occupancy", "credits")
+
+    def __init__(self, n: int) -> None:
+        self.occupancy = np.zeros((n, 4), dtype=np.int64)
+        self.credits = np.zeros(n, dtype=np.int64)
+
+    def step(self) -> None:
+        self.credits[:] = self.occupancy.sum(axis=1)
+        self.occupancy[:, 0] += 1

@@ -64,6 +64,21 @@ def test_numpy_random():
     assert findings(src) == [(5, "numpy-random")]
 
 
+def test_numpy_seeded_default_rng_is_clean():
+    src = "import numpy as np\nrng = np.random.default_rng(42)\n"
+    assert findings(src) == []
+
+
+def test_numpy_unseeded_default_rng():
+    src = "import numpy as np\nrng = np.random.default_rng()\n"
+    assert findings(src) == [(2, "numpy-unseeded-generator")]
+
+
+def test_numpy_module_level_seed_call_still_flagged():
+    src = "import numpy as np\nnp.random.seed(0)\n"
+    assert findings(src) == [(2, "numpy-random")]
+
+
 def test_wallclock_imports_and_urandom():
     src = "import time\nimport os\ntoken = os.urandom(4)\n"
     assert findings(src) == [(1, "wallclock"), (3, "wallclock")]
@@ -171,6 +186,34 @@ def test_slot_attr_assigned_in_method_is_clean():
     assert findings(src) == []
 
 
+def test_engine_package_classes_are_registered_hot_path():
+    src = (
+        "class VectorEngine:\n"
+        "    def __init__(self):\n"
+        "        self.ring = None\n"
+    )
+    assert findings(src, "src/repro/engine/vector.py") == [
+        (1, "missing-slots")
+    ]
+
+
+def test_numpy_array_attrs_in_slots_are_clean_in_engine():
+    src = (
+        "import numpy as np\n"
+        "\n"
+        "\n"
+        "class VectorEngine:\n"
+        "    __slots__ = ('ring',)\n"
+        "\n"
+        "    def __init__(self):\n"
+        "        self.ring = np.zeros(4)\n"
+        "\n"
+        "    def step_cycle(self):\n"
+        "        self.ring[:] = -1\n"
+    )
+    assert findings(src, "src/repro/engine/vector.py") == []
+
+
 # -- suppressions -----------------------------------------------------------
 def test_per_line_suppression():
     src = (
@@ -220,6 +263,10 @@ EXPECTED_BAD = {
         (10, "set-iteration"),
         (17, "dict-mutation"),
     ],
+    "vectorized.py": [
+        (8, "numpy-unseeded-generator"),
+        (12, "numpy-random"),
+    ],
 }
 
 
@@ -237,7 +284,7 @@ def test_bad_corpus_exact_findings():
 def test_good_corpus_clean():
     report = lint_paths([str(GOOD)])
     assert report.ok
-    assert report.files_checked == 2
+    assert report.files_checked == 3
     assert report.violations == []
 
 
@@ -267,7 +314,7 @@ def test_cli_bad_corpus_exits_nonzero():
     proc = run_cli(str(BAD))
     assert proc.returncode == 1
     assert "unseeded-random" in proc.stdout
-    assert "simlint: 9 violation(s)" in proc.stdout
+    assert "simlint: 11 violation(s)" in proc.stdout
 
 
 def test_cli_good_corpus_exits_zero():
