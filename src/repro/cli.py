@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands cover the common experiments without writing code::
+The subcommands cover the common experiments without writing code::
 
     python -m repro run --design afc --workload apache
     python -m repro compare --workload ocean --seeds 2
@@ -9,6 +9,11 @@ Seven subcommands cover the common experiments without writing code::
     python -m repro derive-thresholds --rate 0.7
     python -m repro faults --flap-rate 4 --bit-error-rate 2 --check
     python -m repro lint --check
+    python -m repro serve --port 0            # experiment service
+    python -m repro submit --kind open_loop --rate 0.3 --wait
+    python -m repro status --key <sha256>
+    python -m repro result --key <sha256> --wait
+    python -m repro queue
 
 ``run``, ``compare`` and ``faults`` accept ``--json`` for a
 machine-readable stats dict instead of the table rendering.  ``run``
@@ -17,6 +22,13 @@ sanitizer (docs/ANALYSIS.md) alongside the simulation, and the
 observability flags ``--trace`` / ``--metrics`` / ``--profile-sim``
 (docs/OBSERVABILITY.md); ``run`` additionally takes
 ``--probe-every N --probe-out FILE`` for time-series sampling.
+
+``run`` and ``compare`` also take ``--cache`` (with ``--store PATH``)
+to read/write the content-addressed result store that backs
+``repro serve`` — a repeated run with the same parameters is answered
+from the store, bit-identically (docs/SERVICE.md).  Their ``--json``
+output always carries the canonical ``config_hash`` (the store's job
+key) and the package ``version``.
 
 All cycle counts are short by default so the CLI answers in seconds;
 raise ``--warmup/--measure/--seeds`` for publication-grade runs (the
@@ -33,6 +45,7 @@ import sys
 from pathlib import Path
 from typing import Any, List, Optional, Sequence
 
+from . import __version__
 from .analysis.sanitizer import InvariantViolation
 from .core.threshold_search import derive_thresholds_empirically
 from .faults import FaultSpec, ProtectionConfig
@@ -290,9 +303,71 @@ def _runner(args: argparse.Namespace) -> ExperimentRunner:
     )
 
 
+def _closed_loop_spec(args: argparse.Namespace, design: Design):
+    """The service :class:`~repro.service.JobSpec` equivalent of a
+    ``run``/``compare`` invocation — its key is the canonical config
+    hash the ``--json`` outputs carry."""
+    from .service import JobSpec
+
+    return JobSpec(
+        kind="closed_loop",
+        design=design,
+        width=args.width,
+        height=args.height,
+        warmup_cycles=args.warmup,
+        measure_cycles=args.measure,
+        seeds=args.seeds,
+        base_seed=args.base_seed,
+        engine=getattr(args, "engine", "active"),
+        workload=args.workload.name,
+        metrics=getattr(args, "metrics", False),
+    )
+
+
+def _cache_eligible(args: argparse.Namespace) -> bool:
+    """Cacheable = the result is a pure function of the spec.  Trace /
+    profile / probe payloads are single-run artifacts and the sanitizer
+    changes the failure mode, not the stats — those runs bypass the
+    store."""
+    return not (
+        getattr(args, "sanitize", False)
+        or getattr(args, "trace", False)
+        or getattr(args, "profile_sim", False)
+        or getattr(args, "probe_every", 0)
+    )
+
+
+def _run_cached(args: argparse.Namespace, design: Design):
+    """Run one closed-loop experiment through the result store when
+    ``--cache`` allows it; returns ``(result, config_hash)``."""
+    from .service import ResultStore, result_from_dict, result_to_dict
+
+    spec = _closed_loop_spec(args, design)
+    key = spec.key()
+    use_cache = getattr(args, "cache", False)
+    if use_cache and not _cache_eligible(args):
+        print(
+            "cache: bypassed (trace/profile/probe/sanitize runs are "
+            "not cacheable)",
+            file=sys.stderr,
+        )
+        use_cache = False
+    if not use_cache:
+        return _runner(args).run_closed_loop(design, args.workload), key
+    store = ResultStore(args.store)
+    record = store.get(key)
+    if record is not None:
+        print(f"cache: hit {key}", file=sys.stderr)
+        return result_from_dict(record["result"]), key
+    result = _runner(args).run_closed_loop(design, args.workload)
+    store.put(key, spec.kind, spec.to_dict(), result_to_dict(result))
+    print(f"cache: stored {key}", file=sys.stderr)
+    return result, key
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     try:
-        result = _runner(args).run_closed_loop(args.design, args.workload)
+        result, config_hash = _run_cached(args, args.design)
     except InvariantViolation as exc:
         print(f"sanitizer: {exc}", file=sys.stderr)
         return 2
@@ -300,7 +375,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("sanitizer: enabled, no invariant violations")
     _write_obs_artifacts(args, result)
     if args.json:
-        _emit_json(_strip_bulky_obs(_result_dict(result)))
+        payload = _strip_bulky_obs(_result_dict(result))
+        payload["config_hash"] = config_hash
+        payload["version"] = __version__
+        _emit_json(payload)
         return 0
     rows = [
         ["performance (txn/kcycle/core)", f"{result.performance:.3f}"],
@@ -329,27 +407,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    runner = _runner(args)
     try:
-        results = {
-            design: runner.run_closed_loop(design, args.workload)
-            for design in MAIN_DESIGNS
+        pairs = {
+            design: _run_cached(args, design) for design in MAIN_DESIGNS
         }
     except InvariantViolation as exc:
         print(f"sanitizer: {exc}", file=sys.stderr)
         return 2
+    results = {design: result for design, (result, _) in pairs.items()}
     if args.sanitize and not args.json:
         print("sanitizer: enabled, no invariant violations")
     for design, result in results.items():
         _write_obs_artifacts(args, result, label=design.value)
     if args.json:
+        designs = {}
+        for design, (result, config_hash) in pairs.items():
+            entry = _strip_bulky_obs(_result_dict(result))
+            entry["config_hash"] = config_hash
+            designs[design.value] = entry
         _emit_json(
             {
                 "workload": args.workload.name,
-                "designs": {
-                    design.value: _strip_bulky_obs(_result_dict(result))
-                    for design, result in results.items()
-                },
+                "version": __version__,
+                "designs": designs,
             }
         )
         return 0
@@ -575,6 +655,180 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_spec_entries(source: str) -> List[dict]:
+    """Job entries from a ``--drain`` file ('-' = stdin): either a JSON
+    list or ``{"jobs": [...]}``, each entry a bare spec dict or
+    ``{"spec": {...}, "priority": N}``."""
+    text = (
+        sys.stdin.read() if source == "-" else Path(source).read_text()
+    )
+    payload = json.loads(text)
+    entries = payload["jobs"] if isinstance(payload, dict) else payload
+    if not isinstance(entries, list) or not entries:
+        raise ValueError("expected a non-empty list of job specs")
+    return entries
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import (
+        ExperimentService,
+        JobSpec,
+        ResultStore,
+        ServiceServer,
+        drain,
+    )
+
+    store = ResultStore(args.store)
+    service = ExperimentService(
+        store,
+        jobs=args.jobs,
+        queue_limit=args.queue_limit,
+        seed_timeout=args.seed_timeout,
+        heartbeat_timeout=args.heartbeat_timeout,
+        retries=args.retries,
+    )
+    if args.drain is not None:
+        specs, priorities = [], []
+        for entry in _load_spec_entries(args.drain):
+            if "spec" in entry:
+                specs.append(JobSpec.from_dict(entry["spec"]))
+                priorities.append(int(entry.get("priority", 0)))
+            else:
+                specs.append(JobSpec.from_dict(entry))
+                priorities.append(0)
+        results, counters = asyncio.run(drain(service, specs, priorities))
+        _emit_json({"results": results, "counters": counters})
+        failed = [r for r in results if "result" not in r]
+        return 1 if failed else 0
+
+    if args.host is not None or args.port is not None:
+        server = ServiceServer(
+            service,
+            host=args.host or "127.0.0.1",
+            port=args.port if args.port is not None else 0,
+        )
+    else:
+        server = ServiceServer(
+            service,
+            socket_path=Path(args.socket or "~/.repro/serve.sock"),
+        )
+
+    async def _serve() -> None:
+        await server.start()
+        print(f"serving on {server.endpoint}", flush=True)
+        await server.serve_until_shutdown()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _client(args: argparse.Namespace):
+    from .service import ServiceClient
+
+    if args.host is not None or args.port is not None:
+        return ServiceClient(
+            host=args.host or "127.0.0.1", port=args.port
+        )
+    return ServiceClient(
+        socket_path=Path(args.socket or "~/.repro/serve.sock")
+    )
+
+
+def _submit_spec(args: argparse.Namespace) -> dict:
+    if args.spec is not None:
+        text = (
+            sys.stdin.read()
+            if args.spec == "-"
+            else Path(args.spec).read_text()
+        )
+        return json.loads(text)
+    spec: dict = {
+        "kind": args.kind,
+        "design": args.design.value,
+        "width": args.width,
+        "height": args.height,
+        "warmup_cycles": args.warmup,
+        "measure_cycles": args.measure,
+        "seeds": args.seeds,
+        "base_seed": args.base_seed,
+        "engine": args.engine,
+        "metrics": args.metrics,
+    }
+    if args.kind == "closed_loop":
+        spec["workload"] = args.workload
+    else:
+        spec["rate"] = args.rate
+    return spec
+
+
+def _client_call(args: argparse.Namespace, call) -> int:
+    """Run one client op, mapping connection/protocol errors to a
+    message + exit 1 instead of a traceback."""
+    from .service import ServiceError
+
+    try:
+        with _client(args) as client:
+            out, code = call(client)
+    except ServiceError as exc:
+        print(f"service error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"cannot reach the service: {exc}", file=sys.stderr)
+        return 1
+    _emit_json(out)
+    return code
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .service import JobSpec
+
+    spec = _submit_spec(args)
+    JobSpec.from_dict(spec)  # fail client-side with a real message
+
+    def call(client):
+        out = client.submit(spec, priority=args.priority)
+        if args.wait and out.get("status") != "shed":
+            out = client.result(
+                out["key"], wait=True, timeout=args.timeout
+            )
+        bad = out.get("status") in ("shed", "failed")
+        return out, (1 if bad else 0)
+
+    return _client_call(args, call)
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    return _client_call(
+        args, lambda client: (client.status(args.key), 0)
+    )
+
+
+def _cmd_result(args: argparse.Namespace) -> int:
+    def call(client):
+        out = client.result(
+            args.key, wait=args.wait, timeout=args.timeout
+        )
+        return out, (0 if out.get("status") == "done" else 1)
+
+    return _client_call(args, call)
+
+
+def _cmd_queue(args: argparse.Namespace) -> int:
+    def call(client):
+        out = client.queue()
+        if args.shutdown:
+            client.shutdown()
+            out["shutdown"] = True
+        return out, 0
+
+    return _client_call(args, call)
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .analysis.simlint import lint_paths
 
@@ -620,6 +874,52 @@ def _cmd_derive_thresholds(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    """``--cache / --no-cache --store PATH`` for run and compare."""
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--cache",
+        dest="cache",
+        action="store_true",
+        help=(
+            "answer from (and populate) the content-addressed result "
+            "store; a repeat of the same parameters does zero "
+            "simulation work and returns bit-identical stats"
+        ),
+    )
+    group.add_argument(
+        "--no-cache",
+        dest="cache",
+        action="store_false",
+        help="always simulate (the default)",
+    )
+    parser.set_defaults(cache=False)
+    parser.add_argument(
+        "--store",
+        default="~/.repro/store",
+        metavar="PATH",
+        help="result store directory (shared with repro serve)",
+    )
+
+
+def _add_client_flags(parser: argparse.ArgumentParser) -> None:
+    """How to reach a running ``repro serve``."""
+    parser.add_argument(
+        "--socket",
+        default=None,
+        metavar="PATH",
+        help="service unix socket (default ~/.repro/serve.sock)",
+    )
+    parser.add_argument(
+        "--host",
+        default=None,
+        help="service TCP host (instead of the unix socket)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=None, help="service TCP port"
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -660,6 +960,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="output path for the --probe-every series (JSON)",
     )
     _add_obs_flags(run)
+    _add_cache_flags(run)
     _add_common(run)
     run.set_defaults(func=_cmd_run)
 
@@ -681,6 +982,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_obs_flags(compare)
+    _add_cache_flags(compare)
     _add_common(compare)
     compare.set_defaults(func=_cmd_compare)
 
@@ -878,6 +1180,168 @@ def build_parser() -> argparse.ArgumentParser:
         help="summary-only output (CI gate; exit code is 1 on violations)",
     )
     lint.set_defaults(func=_cmd_lint)
+
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "run the experiment service: async job queue + "
+            "content-addressed result store (docs/SERVICE.md)"
+        ),
+    )
+    serve.add_argument(
+        "--socket",
+        default=None,
+        metavar="PATH",
+        help="listen on this unix socket (default ~/.repro/serve.sock)",
+    )
+    serve.add_argument(
+        "--host",
+        default=None,
+        help="listen on localhost TCP instead of a unix socket",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="TCP port (0 picks an ephemeral port; implies --host)",
+    )
+    serve.add_argument(
+        "--store",
+        default="~/.repro/store",
+        metavar="PATH",
+        help="result store directory",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=2,
+        help="concurrent seed worker processes",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=_positive_int,
+        default=64,
+        help="queued jobs admitted before submissions are shed",
+    )
+    serve.add_argument(
+        "--seed-timeout",
+        type=float,
+        default=600.0,
+        help="wall-clock seconds one seed may take before its worker "
+        "is killed and retried",
+    )
+    serve.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=30.0,
+        help="seconds without a worker heartbeat before it counts as "
+        "stalled",
+    )
+    serve.add_argument(
+        "--retries",
+        type=_nonneg_int,
+        default=2,
+        help="crash/stall/timeout retries per seed unit",
+    )
+    serve.add_argument(
+        "--drain",
+        default=None,
+        metavar="FILE",
+        help=(
+            "batch mode: run every job spec in FILE ('-' = stdin) to "
+            "completion, print the records as JSON, and exit"
+        ),
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit one job to a running repro serve"
+    )
+    _add_client_flags(submit)
+    submit.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help="full JobSpec JSON ('-' = stdin) instead of inline flags",
+    )
+    submit.add_argument(
+        "--kind",
+        choices=("closed_loop", "open_loop", "faulted"),
+        default="closed_loop",
+    )
+    submit.add_argument("--design", type=_design, default=Design.AFC)
+    submit.add_argument(
+        "--workload",
+        choices=sorted(WORKLOADS),
+        default="apache",
+        help="closed-loop workload name",
+    )
+    submit.add_argument(
+        "--rate",
+        type=_offered_rate,
+        default=0.25,
+        help="open-loop / faulted offered load",
+    )
+    submit.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect the merged metrics registry in the result",
+    )
+    submit.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        help="queue priority (higher runs first)",
+    )
+    submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="block until the job finishes and print its record",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="give up on --wait after this many seconds",
+    )
+    _add_common(submit)
+    submit.set_defaults(func=_cmd_submit)
+
+    status = sub.add_parser(
+        "status", help="one job's state on a running repro serve"
+    )
+    _add_client_flags(status)
+    status.add_argument("--key", required=True, help="job key (sha256)")
+    status.set_defaults(func=_cmd_status)
+
+    result_cmd = sub.add_parser(
+        "result", help="fetch a job's stored record from repro serve"
+    )
+    _add_client_flags(result_cmd)
+    result_cmd.add_argument(
+        "--key", required=True, help="job key (sha256)"
+    )
+    result_cmd.add_argument(
+        "--wait", action="store_true", help="block until the job finishes"
+    )
+    result_cmd.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="give up on --wait after this many seconds",
+    )
+    result_cmd.set_defaults(func=_cmd_result)
+
+    queue_cmd = sub.add_parser(
+        "queue", help="queue snapshot and counters of a running serve"
+    )
+    _add_client_flags(queue_cmd)
+    queue_cmd.add_argument(
+        "--shutdown",
+        action="store_true",
+        help="ask the server to shut down after the snapshot",
+    )
+    queue_cmd.set_defaults(func=_cmd_queue)
 
     derive = sub.add_parser(
         "derive-thresholds",

@@ -416,6 +416,164 @@ def _mean_breakdown(parts: Sequence[EnergyBreakdown]) -> EnergyBreakdown:
     )
 
 
+def aggregate_closed_loop(
+    design: Design,
+    workload_name: str,
+    samples: Sequence[_ClosedLoopSample],
+) -> "ClosedLoopResult":
+    """Fold per-seed closed-loop samples into one result.
+
+    Pure and deterministic: the result is a function of the sample
+    sequence alone (order included — observability payloads merge in
+    seed order), so an aggregate over samples recovered from the
+    experiment service's seed checkpoints is bit-identical to one over
+    freshly computed samples."""
+    perf_mean, perf_std = _mean_std([s.performance for s in samples])
+    energy_mean, energy_std = _mean_std([s.energy_per_txn for s in samples])
+    return ClosedLoopResult(
+        design=design,
+        workload=workload_name,
+        seeds=len(samples),
+        performance=perf_mean,
+        performance_std=perf_std,
+        energy_per_txn=energy_mean,
+        energy_per_txn_std=energy_std,
+        breakdown_per_txn=_mean_breakdown(
+            [s.breakdown_per_txn for s in samples]
+        ),
+        injection_rate=statistics.fmean(
+            s.injection_rate for s in samples
+        ),
+        avg_packet_latency=statistics.fmean(
+            s.avg_packet_latency for s in samples
+        ),
+        avg_miss_latency=statistics.fmean(
+            s.avg_miss_latency for s in samples
+        ),
+        backpressured_fraction=statistics.fmean(
+            s.backpressured_fraction for s in samples
+        ),
+        forward_switches=statistics.fmean(
+            s.forward_switches for s in samples
+        ),
+        reverse_switches=statistics.fmean(
+            s.reverse_switches for s in samples
+        ),
+        gossip_switches=statistics.fmean(
+            s.gossip_switches for s in samples
+        ),
+        p50_packet_latency=statistics.fmean(
+            s.p50_packet_latency for s in samples
+        ),
+        p95_packet_latency=statistics.fmean(
+            s.p95_packet_latency for s in samples
+        ),
+        p99_packet_latency=statistics.fmean(
+            s.p99_packet_latency for s in samples
+        ),
+        observability=_merge_observability(
+            [s.observability for s in samples]
+        ),
+    )
+
+
+def aggregate_open_loop(
+    design: Design,
+    offered_rate: float,
+    samples: Sequence[_OpenLoopSample],
+) -> "OpenLoopResult":
+    """Fold per-seed open-loop samples into one result (see
+    :func:`aggregate_closed_loop` for the determinism contract)."""
+    group_sums: Dict[str, List[float]] = {}
+    for sample in samples:
+        for name, value in sample.group_latency:
+            group_sums.setdefault(name, []).append(value)
+    lat_mean, lat_std = _mean_std([s.avg_network_latency for s in samples])
+    return OpenLoopResult(
+        design=design,
+        offered_rate=offered_rate,
+        seeds=len(samples),
+        throughput=statistics.fmean(s.throughput for s in samples),
+        avg_network_latency=lat_mean,
+        latency_std=lat_std,
+        avg_packet_latency=statistics.fmean(
+            s.avg_packet_latency for s in samples
+        ),
+        deflection_rate=statistics.fmean(
+            s.deflection_rate for s in samples
+        ),
+        energy_per_flit=statistics.fmean(
+            s.energy_per_flit for s in samples
+        ),
+        breakdown=_mean_breakdown([s.breakdown for s in samples]),
+        backpressured_fraction=statistics.fmean(
+            s.backpressured_fraction for s in samples
+        ),
+        gossip_switches=statistics.fmean(
+            s.gossip_switches for s in samples
+        ),
+        group_latency={
+            name: statistics.fmean(vals)
+            for name, vals in group_sums.items()
+        },
+        p50_packet_latency=statistics.fmean(
+            s.p50_packet_latency for s in samples
+        ),
+        p95_packet_latency=statistics.fmean(
+            s.p95_packet_latency for s in samples
+        ),
+        p99_packet_latency=statistics.fmean(
+            s.p99_packet_latency for s in samples
+        ),
+        observability=_merge_observability(
+            [s.observability for s in samples]
+        ),
+    )
+
+
+def aggregate_faulted(
+    design: Design,
+    offered_rate: float,
+    samples: Sequence[_FaultSample],
+) -> "FaultResult":
+    """Fold per-seed faulted samples into one result (see
+    :func:`aggregate_closed_loop` for the determinism contract)."""
+    return FaultResult(
+        design=design,
+        offered_rate=offered_rate,
+        seeds=len(samples),
+        delivered_packet_rate=statistics.fmean(
+            s.delivered_packet_rate for s in samples
+        ),
+        delivered_flit_rate=statistics.fmean(
+            s.delivered_flit_rate for s in samples
+        ),
+        avg_packet_latency=statistics.fmean(
+            s.avg_packet_latency for s in samples
+        ),
+        throughput=statistics.fmean(s.throughput for s in samples),
+        fault_events=statistics.fmean(s.fault_events for s in samples),
+        flits_corrupted=statistics.fmean(
+            s.flits_corrupted for s in samples
+        ),
+        credits_lost=statistics.fmean(s.credits_lost for s in samples),
+        retransmissions=statistics.fmean(
+            s.retransmissions for s in samples
+        ),
+        packets_orphaned=statistics.fmean(
+            s.packets_orphaned for s in samples
+        ),
+        credit_resyncs=statistics.fmean(
+            s.credit_resyncs for s in samples
+        ),
+        reroutes=statistics.fmean(s.reroutes for s in samples),
+        avg_time_to_reroute=statistics.fmean(
+            s.avg_time_to_reroute for s in samples
+        ),
+        drain_cycles=statistics.fmean(s.drain_cycles for s in samples),
+    )
+
+
 @dataclass
 class ClosedLoopResult:
     """Multi-seed summary of one (design, workload) closed-loop run."""
@@ -562,7 +720,7 @@ class ExperimentRunner:
         self, design: Design, workload: WorkloadProfile
     ) -> ClosedLoopResult:
         samples = map_jobs(
-            _run_closed_loop_seed,
+            run_closed_loop_seed,
             [
                 _ClosedLoopJob(
                     config=self.config,
@@ -580,55 +738,7 @@ class ExperimentRunner:
             ],
             self.jobs,
         )
-        perf_mean, perf_std = _mean_std([s.performance for s in samples])
-        energy_mean, energy_std = _mean_std(
-            [s.energy_per_txn for s in samples]
-        )
-        return ClosedLoopResult(
-            design=design,
-            workload=workload.name,
-            seeds=self.seeds,
-            performance=perf_mean,
-            performance_std=perf_std,
-            energy_per_txn=energy_mean,
-            energy_per_txn_std=energy_std,
-            breakdown_per_txn=_mean_breakdown(
-                [s.breakdown_per_txn for s in samples]
-            ),
-            injection_rate=statistics.fmean(
-                s.injection_rate for s in samples
-            ),
-            avg_packet_latency=statistics.fmean(
-                s.avg_packet_latency for s in samples
-            ),
-            avg_miss_latency=statistics.fmean(
-                s.avg_miss_latency for s in samples
-            ),
-            backpressured_fraction=statistics.fmean(
-                s.backpressured_fraction for s in samples
-            ),
-            forward_switches=statistics.fmean(
-                s.forward_switches for s in samples
-            ),
-            reverse_switches=statistics.fmean(
-                s.reverse_switches for s in samples
-            ),
-            gossip_switches=statistics.fmean(
-                s.gossip_switches for s in samples
-            ),
-            p50_packet_latency=statistics.fmean(
-                s.p50_packet_latency for s in samples
-            ),
-            p95_packet_latency=statistics.fmean(
-                s.p95_packet_latency for s in samples
-            ),
-            p99_packet_latency=statistics.fmean(
-                s.p99_packet_latency for s in samples
-            ),
-            observability=_merge_observability(
-                [s.observability for s in samples]
-            ),
-        )
+        return aggregate_closed_loop(design, workload.name, samples)
 
     # -- open loop ----------------------------------------------------------------
     def run_open_loop(
@@ -648,7 +758,7 @@ class ExperimentRunner:
             rate if isinstance(rate, (int, float)) else tuple(rate)
         )
         samples = map_jobs(
-            _run_open_loop_seed,
+            run_open_loop_seed,
             [
                 _OpenLoopJob(
                     config=self.config,
@@ -669,60 +779,12 @@ class ExperimentRunner:
             ],
             self.jobs,
         )
-        group_sums: Dict[str, List[float]] = {
-            name: [] for name, _ in groups
-        }
-        for sample in samples:
-            for name, value in sample.group_latency:
-                group_sums[name].append(value)
-        lat_mean, lat_std = _mean_std(
-            [s.avg_network_latency for s in samples]
-        )
         offered = (
             float(rate)
             if isinstance(rate, (int, float))
             else statistics.fmean(rate)
         )
-        return OpenLoopResult(
-            design=design,
-            offered_rate=offered,
-            seeds=self.seeds,
-            throughput=statistics.fmean(s.throughput for s in samples),
-            avg_network_latency=lat_mean,
-            latency_std=lat_std,
-            avg_packet_latency=statistics.fmean(
-                s.avg_packet_latency for s in samples
-            ),
-            deflection_rate=statistics.fmean(
-                s.deflection_rate for s in samples
-            ),
-            energy_per_flit=statistics.fmean(
-                s.energy_per_flit for s in samples
-            ),
-            breakdown=_mean_breakdown([s.breakdown for s in samples]),
-            backpressured_fraction=statistics.fmean(
-                s.backpressured_fraction for s in samples
-            ),
-            gossip_switches=statistics.fmean(
-                s.gossip_switches for s in samples
-            ),
-            group_latency={
-                name: statistics.fmean(vals)
-                for name, vals in group_sums.items()
-            },
-            p50_packet_latency=statistics.fmean(
-                s.p50_packet_latency for s in samples
-            ),
-            p95_packet_latency=statistics.fmean(
-                s.p95_packet_latency for s in samples
-            ),
-            p99_packet_latency=statistics.fmean(
-                s.p99_packet_latency for s in samples
-            ),
-            observability=_merge_observability(
-                [s.observability for s in samples]
-            ),
-        )
+        return aggregate_open_loop(design, offered, samples)
 
     # -- faulted runs ----------------------------------------------------------
     def run_faulted(
@@ -741,7 +803,7 @@ class ExperimentRunner:
         empty — so ``delivered_packet_rate`` is exact, not
         window-censored."""
         samples = map_jobs(
-            _run_fault_seed,
+            run_fault_seed,
             [
                 _FaultJob(
                     config=self.config,
@@ -759,37 +821,21 @@ class ExperimentRunner:
             ],
             self.jobs,
         )
-        return FaultResult(
-            design=design,
-            offered_rate=rate,
-            seeds=self.seeds,
-            delivered_packet_rate=statistics.fmean(
-                s.delivered_packet_rate for s in samples
-            ),
-            delivered_flit_rate=statistics.fmean(
-                s.delivered_flit_rate for s in samples
-            ),
-            avg_packet_latency=statistics.fmean(
-                s.avg_packet_latency for s in samples
-            ),
-            throughput=statistics.fmean(s.throughput for s in samples),
-            fault_events=statistics.fmean(s.fault_events for s in samples),
-            flits_corrupted=statistics.fmean(
-                s.flits_corrupted for s in samples
-            ),
-            credits_lost=statistics.fmean(s.credits_lost for s in samples),
-            retransmissions=statistics.fmean(
-                s.retransmissions for s in samples
-            ),
-            packets_orphaned=statistics.fmean(
-                s.packets_orphaned for s in samples
-            ),
-            credit_resyncs=statistics.fmean(
-                s.credit_resyncs for s in samples
-            ),
-            reroutes=statistics.fmean(s.reroutes for s in samples),
-            avg_time_to_reroute=statistics.fmean(
-                s.avg_time_to_reroute for s in samples
-            ),
-            drain_cycles=statistics.fmean(s.drain_cycles for s in samples),
-        )
+        return aggregate_faulted(design, rate, samples)
+
+
+#: Public aliases for seed-level scheduling.  The experiment service
+#: (:mod:`repro.service`) executes, checkpoints and recovers work one
+#: seed at a time, so the per-seed job descriptions, runners and sample
+#: types are its unit of work; the aggregate_* functions above fold the
+#: recovered samples back into the exact results the foreground runner
+#: produces.
+ClosedLoopJob = _ClosedLoopJob
+ClosedLoopSample = _ClosedLoopSample
+OpenLoopJob = _OpenLoopJob
+OpenLoopSample = _OpenLoopSample
+FaultJob = _FaultJob
+FaultSample = _FaultSample
+run_closed_loop_seed = _run_closed_loop_seed
+run_open_loop_seed = _run_open_loop_seed
+run_fault_seed = _run_fault_seed

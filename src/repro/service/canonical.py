@@ -1,0 +1,71 @@
+"""Stable JSON canonicalization and content-addressed job keys.
+
+Every experiment the service runs is identified by the sha256 of a
+*canonical* JSON rendering of its fully expanded description: every
+parameter that can change a single bit of the result is in the hashed
+payload, and nothing else is.  Canonical means:
+
+* object keys sorted, no whitespace (``separators=(",", ":")``);
+* dataclasses expanded field-by-field, enums replaced by their values;
+* tuples rendered as JSON arrays (indistinguishable from lists — which
+  is correct, because the simulator treats them interchangeably);
+* mapping keys coerced to strings through the same enum-aware rule, so
+  ``Dict[RouterClass, ContentionThresholds]`` canonicalizes stably;
+* floats rendered by :func:`json.dumps`' shortest round-trip ``repr``,
+  which is deterministic per IEEE-754 double across platforms.
+
+Two specs hash equal **iff** a fresh simulation of either would be
+bit-identical — see docs/SERVICE.md, "Cache-correctness contract".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import Any
+
+__all__ = ["canonicalize", "canonical_json", "content_key"]
+
+
+def canonicalize(obj: Any) -> Any:
+    """``obj`` reduced to JSON-ready primitives, deterministically."""
+    if isinstance(obj, enum.Enum):
+        return canonicalize(obj.value)
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: canonicalize(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        out = {}
+        for key, value in obj.items():
+            canon_key = canonicalize(key)
+            if not isinstance(canon_key, str):
+                canon_key = json.dumps(canon_key, sort_keys=True)
+            if canon_key in out:
+                raise ValueError(f"key collision on {canon_key!r}")
+            out[canon_key] = canonicalize(value)
+        return out
+    if isinstance(obj, (list, tuple)):
+        return [canonicalize(item) for item in obj]
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise TypeError(f"not canonicalizable: {obj!r}")
+
+
+def canonical_json(obj: Any) -> str:
+    """The canonical JSON text of ``obj`` (stable across runs)."""
+    return json.dumps(
+        canonicalize(obj),
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+        allow_nan=False,
+    )
+
+
+def content_key(obj: Any) -> str:
+    """sha256 hex digest of the canonical JSON of ``obj``."""
+    return hashlib.sha256(canonical_json(obj).encode("ascii")).hexdigest()

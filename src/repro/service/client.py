@@ -1,0 +1,116 @@
+"""Blocking client for the ``repro serve`` JSON-lines protocol.
+
+The CLI subcommands (``repro submit`` / ``status`` / ``result`` /
+``queue``) are thin wrappers over this.  One call = one connection is
+deliberately *not* the model: a :class:`ServiceClient` keeps its socket
+open across requests so a ``result --wait`` can ride the same
+connection that submitted.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """The server answered ``ok: false`` (its ``error`` is the message)."""
+
+
+class ServiceClient:
+    """Talk JSON-lines to a running service over unix socket or TCP."""
+
+    def __init__(
+        self,
+        *,
+        socket_path: Optional[Path] = None,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        timeout: Optional[float] = 60.0,
+    ) -> None:
+        if (socket_path is None) == (host is None):
+            raise ValueError("connect to exactly one of unix socket / TCP")
+        if socket_path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(str(Path(socket_path).expanduser()))
+        else:
+            self._sock = socket.create_connection(
+                (host, int(port or 0)), timeout=timeout
+            )
+        self._file = self._sock.makefile("rwb")
+
+    # -- plumbing --------------------------------------------------------
+    def request(self, payload: dict) -> dict:
+        self._file.write(
+            json.dumps(payload, separators=(",", ":")).encode() + b"\n"
+        )
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServiceError("server closed the connection")
+        response = json.loads(line)
+        if not response.get("ok"):
+            raise ServiceError(response.get("error", "unknown error"))
+        response.pop("ok", None)
+        response.pop("bye", None)
+        return response
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- ops -------------------------------------------------------------
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def submit(self, spec: dict, priority: int = 0) -> dict:
+        return self.request(
+            {"op": "submit", "spec": spec, "priority": priority}
+        )
+
+    def status(self, key: str) -> dict:
+        return self.request({"op": "status", "key": key})
+
+    def result(
+        self,
+        key: str,
+        wait: bool = False,
+        timeout: Optional[float] = None,
+    ) -> dict:
+        if wait:
+            # Waits are served by the event loop, not this socket's
+            # timeout — widen it so a long simulation can finish.
+            self._sock.settimeout(
+                None if timeout is None else timeout + 10.0
+            )
+        try:
+            return self.request(
+                {
+                    "op": "result",
+                    "key": key,
+                    "wait": wait,
+                    "timeout": timeout,
+                }
+            )
+        finally:
+            if wait:
+                self._sock.settimeout(60.0)
+
+    def queue(self) -> dict:
+        return self.request({"op": "queue"})
+
+    def shutdown(self) -> dict:
+        return self.request({"op": "shutdown"})

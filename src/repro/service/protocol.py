@@ -1,0 +1,198 @@
+"""JSON-lines request/response protocol for ``repro serve``.
+
+One connection carries any number of requests; each request is a single
+JSON object on one line, each response a single JSON object on one
+line.  Requests name an ``op``::
+
+    {"op": "ping"}
+    {"op": "submit", "spec": {...JobSpec.to_dict()...}, "priority": 5}
+    {"op": "status", "key": "<sha256>"}
+    {"op": "result", "key": "<sha256>", "wait": true, "timeout": 30}
+    {"op": "queue"}
+    {"op": "shutdown"}
+
+Responses always carry ``"ok": true`` plus op-specific fields, or
+``"ok": false`` with ``"error"``.  A malformed line gets an error
+response; the connection stays open (a client bug should not drop its
+neighbours' in-flight waits).
+
+The server listens on a unix socket (default) or localhost TCP
+(``host``/``port``; port 0 picks an ephemeral port — how the tests and
+the CI smoke run without colliding).  ``drain`` runs a batch of specs
+through a service without any socket at all (``repro serve --drain``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from pathlib import Path
+from typing import Optional, Tuple
+
+from .jobs import JobSpec
+from .queue import ExperimentService
+
+__all__ = ["ServiceServer", "drain"]
+
+#: Bound on one request line; a spec is a few hundred bytes, so this is
+#: generous while still containing a misbehaving client.
+MAX_LINE = 1 << 20
+
+
+class ServiceServer:
+    """Asyncio socket frontend over an :class:`ExperimentService`."""
+
+    def __init__(
+        self,
+        service: ExperimentService,
+        *,
+        socket_path: Optional[Path] = None,
+        host: Optional[str] = None,
+        port: int = 0,
+    ) -> None:
+        if (socket_path is None) == (host is None):
+            raise ValueError("serve on exactly one of unix socket / TCP")
+        self.service = service
+        self.socket_path = (
+            Path(socket_path).expanduser() if socket_path else None
+        )
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown = asyncio.Event()
+
+    # -- lifecycle -------------------------------------------------------
+    async def start(self) -> "ServiceServer":
+        await self.service.start()
+        if self.socket_path is not None:
+            self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+            if self.socket_path.exists():
+                self.socket_path.unlink()
+            self._server = await asyncio.start_unix_server(
+                self._handle, path=str(self.socket_path)
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle, host=self.host, port=self.port
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    @property
+    def endpoint(self) -> str:
+        if self.socket_path is not None:
+            return str(self.socket_path)
+        return f"{self.host}:{self.port}"
+
+    async def serve_until_shutdown(self) -> None:
+        """Run until a ``shutdown`` request (or cancellation)."""
+        try:
+            await self._shutdown.wait()
+        finally:
+            await self.stop()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.close()
+        if self.socket_path is not None and self.socket_path.exists():
+            self.socket_path.unlink()
+
+    # -- request handling ------------------------------------------------
+    async def _handle(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, asyncio.LimitOverrunError):
+                    break
+                if not line:
+                    break
+                if len(line) > MAX_LINE:
+                    response = {"ok": False, "error": "request too large"}
+                else:
+                    response = await self._dispatch(line)
+                writer.write(
+                    json.dumps(response, separators=(",", ":")).encode()
+                    + b"\n"
+                )
+                try:
+                    await writer.drain()
+                except ConnectionResetError:
+                    break
+                if response.get("bye"):
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, line: bytes) -> dict:
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+            op = request.get("op")
+            if op == "ping":
+                return {"ok": True, "pong": True}
+            if op == "submit":
+                spec = JobSpec.from_dict(request["spec"])
+                out = self.service.submit(
+                    spec, priority=int(request.get("priority", 0))
+                )
+                return {"ok": True, **out}
+            if op == "status":
+                return {"ok": True, **self.service.status(request["key"])}
+            if op == "result":
+                out = await self.service.result(
+                    request["key"],
+                    wait=bool(request.get("wait", False)),
+                    timeout=request.get("timeout"),
+                )
+                return {"ok": True, **out}
+            if op == "queue":
+                return {"ok": True, **self.service.queue_snapshot()}
+            if op == "shutdown":
+                self._shutdown.set()
+                return {"ok": True, "bye": True}
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        except Exception as exc:
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+
+async def drain(
+    service: ExperimentService, specs, priorities=None
+) -> Tuple[list, dict]:
+    """Run a batch of specs to completion (``repro serve --drain``).
+
+    Returns ``(results, counters)`` where ``results[i]`` is the store
+    record for ``specs[i]`` (every spec resolves to a record — cached,
+    deduped, or freshly run) or an error dict for a failed job.
+    """
+    await service.start()
+    try:
+        keys = []
+        for i, spec in enumerate(specs):
+            priority = priorities[i] if priorities else 0
+            out = service.submit(spec, priority=priority)
+            if out["status"] == "shed":
+                raise RuntimeError(
+                    "drain overflowed its own queue; raise queue_limit"
+                )
+            keys.append(out["key"])
+        results = []
+        for key in keys:
+            out = await service.result(key, wait=True)
+            if out["status"] == "done":
+                results.append(out["record"])
+            else:
+                results.append(
+                    {"key": key, "error": out.get("error", out["status"])}
+                )
+        return results, dict(service.counters)
+    finally:
+        await service.close()

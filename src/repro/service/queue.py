@@ -1,0 +1,348 @@
+"""The experiment service: admission, priority queue, single-flight
+dedupe, crash-safe execution, and the result cache.
+
+``asyncio`` frontend, forked-worker backend.  The flow of one request:
+
+1. **submit** — the spec hashes to its job key.  A stored result is a
+   *cache hit* (no work).  A queued/running job with the same key
+   *attaches* the caller (single-flight: one simulation serves every
+   concurrent duplicate).  Otherwise the job must pass **admission**:
+   when ``queued >= queue_limit`` the request is **shed** with a
+   ``retry_after`` hint — explicit backpressure at the service
+   boundary, exactly the discipline the fabric under test applies to
+   its own injection ports.
+2. **dispatch** — the highest-priority queued job starts (FIFO within
+   a priority level); up to ``max_active`` jobs run concurrently.
+3. **execution** — the job's not-yet-checkpointed seeds fan out over
+   ``jobs`` worker slots as supervised seed units
+   (:func:`repro.service.workers.run_seed_unit`).  Each finished seed
+   is checkpointed to the store *before* it counts as done; a worker
+   crash requeues only the lost seed, never completed ones.
+4. **aggregate** — when every seed index has a checkpoint, the samples
+   are decoded and folded by the same ``aggregate_*`` functions the
+   foreground runner uses, the record is stored atomically, the
+   partials are cleared, and every waiter resolves.
+
+Determinism: samples always reach aggregation through the store's
+JSON codec (fresh and recovered runs share one code path), so a
+recovered or cached result is bit-identical to a fresh foreground run —
+the acceptance contract pinned by ``tests/test_service_recovery.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .jobs import JobSpec
+from .serialize import result_to_dict, sample_from_dict
+from .store import ResultStore
+from .workers import SeedOutcome, run_seed_unit
+
+__all__ = ["ExperimentService", "JobState"]
+
+
+@dataclass
+class JobState:
+    """Book-keeping for one admitted job."""
+
+    key: str
+    spec: JobSpec
+    priority: int
+    seq: int
+    state: str = "queued"  #: queued | running | done | failed
+    total_seeds: int = 0
+    completed_seeds: int = 0
+    #: Live worker pids by seed index (for ``repro queue`` and the
+    #: kill-a-worker smoke tests).
+    workers: Dict[int, int] = field(default_factory=dict)
+    #: How many submissions this job absorbed (1 + attached dupes).
+    submissions: int = 1
+    error: Optional[str] = None
+    record: Optional[dict] = None
+    waiters: List[asyncio.Future] = field(default_factory=list)
+
+    def snapshot(self) -> dict:
+        return {
+            "key": self.key,
+            "kind": self.spec.kind,
+            "state": self.state,
+            "priority": self.priority,
+            "total_seeds": self.total_seeds,
+            "completed_seeds": self.completed_seeds,
+            "workers": dict(self.workers),
+            "submissions": self.submissions,
+            "error": self.error,
+        }
+
+
+class ExperimentService:
+    """Async job queue over the content-addressed result store."""
+
+    def __init__(
+        self,
+        store: ResultStore,
+        *,
+        jobs: int = 2,
+        queue_limit: int = 64,
+        max_active: Optional[int] = None,
+        seed_timeout: Optional[float] = 600.0,
+        heartbeat_timeout: float = 30.0,
+        retries: int = 2,
+        on_worker_spawn: Optional[Callable[[int, int], None]] = None,
+    ) -> None:
+        self.store = store
+        self.jobs = max(1, jobs)
+        self.queue_limit = queue_limit
+        self.max_active = max_active if max_active is not None else self.jobs
+        self.seed_timeout = seed_timeout
+        self.heartbeat_timeout = heartbeat_timeout
+        self.retries = retries
+        #: Test hook: observes every (pid, attempt) worker spawn.
+        self.on_worker_spawn = on_worker_spawn
+        self._heap: List = []  # (-priority, seq, key)
+        self._states: Dict[str, JobState] = {}
+        self._seq = 0
+        self._slots: Optional[asyncio.Semaphore] = None
+        self._active = 0
+        self._wakeup: Optional[asyncio.Event] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._closing = False
+        self.counters: Dict[str, int] = {
+            "submitted": 0,
+            "cache_hits": 0,
+            "deduped": 0,
+            "shed": 0,
+            "jobs_completed": 0,
+            "jobs_failed": 0,
+            "seed_units_run": 0,
+            "seeds_recovered": 0,
+            "worker_crashes": 0,
+        }
+
+    # -- lifecycle -------------------------------------------------------
+    async def start(self) -> "ExperimentService":
+        self._slots = asyncio.Semaphore(self.jobs)
+        self._wakeup = asyncio.Event()
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        return self
+
+    async def close(self) -> None:
+        self._closing = True
+        if self._wakeup is not None:
+            self._wakeup.set()
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+
+    # -- submission ------------------------------------------------------
+    def submit(self, spec: JobSpec, priority: int = 0) -> dict:
+        """Admit (or dedupe/shed) one request.  Never blocks."""
+        self.counters["submitted"] += 1
+        key = spec.key()
+        record = self.store.get(key)
+        if record is not None:
+            self.counters["cache_hits"] += 1
+            return {"key": key, "status": "cached"}
+        state = self._states.get(key)
+        if state is not None and state.state in ("queued", "running"):
+            state.submissions += 1
+            self.counters["deduped"] += 1
+            return {"key": key, "status": state.state, "deduped": True}
+        queued = sum(
+            1 for s in self._states.values() if s.state == "queued"
+        )
+        if queued >= self.queue_limit:
+            self.counters["shed"] += 1
+            return {
+                "key": key,
+                "status": "shed",
+                "reason": f"queue full ({queued}/{self.queue_limit})",
+                "retry_after": 1.0,
+            }
+        self._seq += 1
+        state = JobState(
+            key=key,
+            spec=spec,
+            priority=priority,
+            seq=self._seq,
+            total_seeds=spec.seeds,
+        )
+        self._states[key] = state
+        heapq.heappush(self._heap, (-priority, self._seq, key))
+        if self._wakeup is not None:
+            self._wakeup.set()
+        return {"key": key, "status": "queued"}
+
+    # -- queries ---------------------------------------------------------
+    def status(self, key: str) -> dict:
+        """State of a job, live or from the store."""
+        state = self._states.get(key)
+        if state is not None:
+            out = state.snapshot()
+            if state.spec.metrics and state.state == "running":
+                metrics = self._partial_metrics(state)
+                if metrics is not None:
+                    out["metrics"] = metrics
+            return out
+        record = self.store.get(key)
+        if record is not None:
+            return {"key": key, "state": "done", "cached": True}
+        return {"key": key, "state": "unknown"}
+
+    def _partial_metrics(self, state: JobState) -> Optional[dict]:
+        """Merged metrics of the seeds checkpointed so far — the
+        streaming view of a running job's registry."""
+        from ..harness.experiment import _merge_observability
+
+        partials = self.store.partial_seeds(state.key)
+        payloads = [
+            partials[index].get("observability")
+            for index in sorted(partials)
+        ]
+        merged = _merge_observability(payloads)
+        return None if merged is None else merged.get("metrics")
+
+    def queue_snapshot(self) -> dict:
+        states = sorted(
+            self._states.values(), key=lambda s: (-s.priority, s.seq)
+        )
+        return {
+            "queued": [
+                s.snapshot() for s in states if s.state == "queued"
+            ],
+            "running": [
+                s.snapshot() for s in states if s.state == "running"
+            ],
+            "counters": dict(self.counters),
+            "store_results": len(self.store),
+        }
+
+    async def result(
+        self, key: str, wait: bool = False, timeout: Optional[float] = None
+    ) -> dict:
+        """The stored record for ``key``; optionally await a live job."""
+        record = self.store.get(key)
+        if record is not None:
+            return {"key": key, "status": "done", "record": record}
+        state = self._states.get(key)
+        if state is None:
+            return {"key": key, "status": "unknown"}
+        if state.state == "failed":
+            return {"key": key, "status": "failed", "error": state.error}
+        if not wait:
+            return {"key": key, "status": state.state}
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        state.waiters.append(future)
+        try:
+            await asyncio.wait_for(future, timeout)
+        except asyncio.TimeoutError:
+            return {"key": key, "status": state.state, "timed_out": True}
+        if state.state == "done":
+            return {"key": key, "status": "done", "record": state.record}
+        return {"key": key, "status": "failed", "error": state.error}
+
+    # -- dispatch / execution -------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        assert self._wakeup is not None
+        while not self._closing:
+            while self._heap and self._active < self.max_active:
+                _, _, key = heapq.heappop(self._heap)
+                state = self._states.get(key)
+                if state is None or state.state != "queued":
+                    continue
+                self._active += 1
+                asyncio.create_task(self._run_job(state))
+            self._wakeup.clear()
+            await self._wakeup.wait()
+
+    async def _run_job(self, state: JobState) -> None:
+        spec = state.spec
+        state.state = "running"
+        try:
+            done = self.store.partial_seeds(state.key)
+            recovered = [i for i in sorted(done) if i < spec.seeds]
+            self.counters["seeds_recovered"] += len(recovered)
+            state.completed_seeds = len(recovered)
+            remaining = [
+                i for i in range(spec.seeds) if i not in done
+            ]
+            if remaining:
+                async with asyncio.TaskGroup() as group:
+                    for index in remaining:
+                        group.create_task(
+                            self._run_seed_unit(state, index)
+                        )
+            partials = self.store.partial_seeds(state.key)
+            samples = [
+                sample_from_dict(partials[i]) for i in range(spec.seeds)
+            ]
+            result = spec.aggregate(samples)
+            record = self.store.put(
+                state.key,
+                spec.kind,
+                spec.to_dict(),
+                result_to_dict(result),
+            )
+            self.store.clear_partials(state.key)
+            state.record = record
+            state.state = "done"
+            self.counters["jobs_completed"] += 1
+        except BaseException as exc:
+            state.state = "failed"
+            if isinstance(exc, BaseExceptionGroup):
+                parts = "; ".join(
+                    str(e) for e in exc.exceptions[:3]
+                )
+                state.error = f"{type(exc).__name__}: {parts}"
+            else:
+                state.error = f"{type(exc).__name__}: {exc}"
+            self.counters["jobs_failed"] += 1
+            if isinstance(exc, asyncio.CancelledError):
+                raise
+        finally:
+            self._active -= 1
+            if self._wakeup is not None:
+                self._wakeup.set()
+            for waiter in state.waiters:
+                if not waiter.done():
+                    waiter.set_result(state.state)
+            state.waiters.clear()
+            state.workers.clear()
+
+    async def _run_seed_unit(self, state: JobState, index: int) -> None:
+        assert self._slots is not None
+        async with self._slots:
+
+            def on_spawn(pid: int, attempt: int) -> None:
+                if attempt > 1:
+                    self.counters["worker_crashes"] += 1
+                state.workers[index] = pid
+                if self.on_worker_spawn is not None:
+                    self.on_worker_spawn(pid, attempt)
+
+            self.counters["seed_units_run"] += 1
+            outcome: SeedOutcome = await asyncio.to_thread(
+                run_seed_unit,
+                state.spec.to_dict(),
+                index,
+                timeout=self.seed_timeout,
+                heartbeat_timeout=self.heartbeat_timeout,
+                retries=self.retries,
+                on_spawn=on_spawn,
+            )
+            state.workers.pop(index, None)
+            if not outcome.ok:
+                raise RuntimeError(
+                    f"seed {state.spec.seed_of(index)} "
+                    f"{outcome.status} after {outcome.attempts} "
+                    f"attempt(s): {outcome.error}"
+                )
+            assert outcome.sample is not None
+            self.store.checkpoint_seed(state.key, index, outcome.sample)
+            state.completed_seeds += 1

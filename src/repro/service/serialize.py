@@ -1,0 +1,164 @@
+"""Exact dict codecs for harness samples and results.
+
+The store persists two shapes of payload:
+
+* per-seed **samples** (:class:`~repro.harness.experiment.
+  ClosedLoopSample` and friends) — the crash-recovery checkpoints;
+* aggregated **results** (:class:`~repro.harness.experiment.
+  ClosedLoopResult` and friends) — the cached experiment outputs.
+
+Both round-trip *exactly* through JSON: every field is an int, str,
+bool, None, float (JSON uses shortest round-trip ``repr``, which is
+exact for IEEE-754 doubles), or a container of those.  ``to`` / ``from``
+pairs restore the precise dataclass — including tuple-vs-list shapes —
+so ``result_from_dict(result_to_dict(r)) == r`` field-for-field and a
+result recovered from the store is bit-identical to a fresh one
+(test-pinned in ``tests/test_service_store.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Mapping, Optional
+
+from ..energy.model import EnergyBreakdown
+from ..harness.experiment import (
+    ClosedLoopResult,
+    ClosedLoopSample,
+    FaultResult,
+    FaultSample,
+    OpenLoopResult,
+    OpenLoopSample,
+)
+from ..network.config import Design
+
+__all__ = [
+    "result_to_dict",
+    "result_from_dict",
+    "sample_to_dict",
+    "sample_from_dict",
+]
+
+#: Result-payload kinds (the discriminator stored alongside payloads).
+KIND_CLOSED = "closed_loop"
+KIND_OPEN = "open_loop"
+KIND_FAULTED = "faulted"
+
+
+def _breakdown_to_dict(breakdown: EnergyBreakdown) -> Dict[str, float]:
+    return dataclasses.asdict(breakdown)
+
+
+def _breakdown_from_dict(data: Mapping[str, float]) -> EnergyBreakdown:
+    return EnergyBreakdown(**{k: float(v) for k, v in data.items()})
+
+
+def _plain_fields(obj: Any, skip: frozenset) -> Dict[str, Any]:
+    return {
+        f.name: getattr(obj, f.name)
+        for f in dataclasses.fields(obj)
+        if f.name not in skip
+    }
+
+
+# -- samples (seed checkpoints) -------------------------------------------
+
+_CLOSED_SAMPLE_SKIP = frozenset({"breakdown_per_txn", "observability"})
+_OPEN_SAMPLE_SKIP = frozenset({"breakdown", "group_latency", "observability"})
+
+
+def sample_to_dict(sample: Any) -> dict:
+    """A JSON-ready dict for any of the three per-seed sample types."""
+    if isinstance(sample, ClosedLoopSample):
+        out = _plain_fields(sample, _CLOSED_SAMPLE_SKIP)
+        out["breakdown_per_txn"] = _breakdown_to_dict(
+            sample.breakdown_per_txn
+        )
+        out["observability"] = sample.observability
+        out["kind"] = KIND_CLOSED
+        return out
+    if isinstance(sample, OpenLoopSample):
+        out = _plain_fields(sample, _OPEN_SAMPLE_SKIP)
+        out["breakdown"] = _breakdown_to_dict(sample.breakdown)
+        out["group_latency"] = [
+            [name, value] for name, value in sample.group_latency
+        ]
+        out["observability"] = sample.observability
+        out["kind"] = KIND_OPEN
+        return out
+    if isinstance(sample, FaultSample):
+        out = _plain_fields(sample, frozenset())
+        out["kind"] = KIND_FAULTED
+        return out
+    raise TypeError(f"not a seed sample: {sample!r}")
+
+
+def sample_from_dict(data: Mapping[str, Any]) -> Any:
+    """The exact sample dataclass encoded by :func:`sample_to_dict`."""
+    payload = dict(data)
+    kind = payload.pop("kind")
+    if kind == KIND_CLOSED:
+        payload["breakdown_per_txn"] = _breakdown_from_dict(
+            payload["breakdown_per_txn"]
+        )
+        return ClosedLoopSample(**payload)
+    if kind == KIND_OPEN:
+        payload["breakdown"] = _breakdown_from_dict(payload["breakdown"])
+        payload["group_latency"] = tuple(
+            (name, value) for name, value in payload["group_latency"]
+        )
+        return OpenLoopSample(**payload)
+    if kind == KIND_FAULTED:
+        return FaultSample(**payload)
+    raise ValueError(f"unknown sample kind {kind!r}")
+
+
+# -- results (cached payloads) --------------------------------------------
+
+
+def result_to_dict(result: Any) -> dict:
+    """A JSON-ready dict for any of the three result types.
+
+    This is the store's canonical result shape; ``repro result`` and
+    the ``--json`` CLI paths emit it unchanged.
+    """
+    if isinstance(result, ClosedLoopResult):
+        out = _plain_fields(
+            result, frozenset({"design", "breakdown_per_txn"})
+        )
+        out["design"] = result.design.value
+        out["breakdown_per_txn"] = _breakdown_to_dict(
+            result.breakdown_per_txn
+        )
+        out["kind"] = KIND_CLOSED
+        return out
+    if isinstance(result, OpenLoopResult):
+        out = _plain_fields(result, frozenset({"design", "breakdown"}))
+        out["design"] = result.design.value
+        out["breakdown"] = _breakdown_to_dict(result.breakdown)
+        out["kind"] = KIND_OPEN
+        return out
+    if isinstance(result, FaultResult):
+        out = _plain_fields(result, frozenset({"design"}))
+        out["design"] = result.design.value
+        out["kind"] = KIND_FAULTED
+        return out
+    raise TypeError(f"not an experiment result: {result!r}")
+
+
+def result_from_dict(data: Mapping[str, Any]) -> Any:
+    """The exact result dataclass encoded by :func:`result_to_dict`."""
+    payload = dict(data)
+    kind = payload.pop("kind")
+    payload["design"] = Design(payload["design"])
+    if kind == KIND_CLOSED:
+        payload["breakdown_per_txn"] = _breakdown_from_dict(
+            payload["breakdown_per_txn"]
+        )
+        return ClosedLoopResult(**payload)
+    if kind == KIND_OPEN:
+        payload["breakdown"] = _breakdown_from_dict(payload["breakdown"])
+        return OpenLoopResult(**payload)
+    if kind == KIND_FAULTED:
+        return FaultResult(**payload)
+    raise ValueError(f"unknown result kind {kind!r}")
