@@ -43,6 +43,10 @@ a speedup obtained by changing simulated behaviour is a bug, not a win.
 See ``docs/PERFORMANCE.md`` for how to read the archived numbers.
 """
 
+# Wall-clock timing is this file's *purpose* (bench harness, not
+# simulation state): cycles/sec rates are measured with perf_counter.
+# simlint: disable-file=wallclock
+
 from __future__ import annotations
 
 import argparse

@@ -17,6 +17,10 @@ Exit 0 = every property held.  Uses wall-clock timeouts only to bound
 the smoke itself; every simulation result is deterministic.
 """
 
+# Wall-clock timing is this file's *purpose* (bench harness, not
+# simulation state): server startup polling and timeouts need real time.
+# simlint: disable-file=wallclock
+
 from __future__ import annotations
 
 import os

@@ -1,0 +1,147 @@
+"""Finding baseline: the zero-new-findings CI policy.
+
+A baseline file (``.simlint-baseline.json`` at the repo root) records
+*accepted* findings; ``repro lint --baseline FILE`` subtracts them and
+fails only on findings **not** in the baseline.  CI runs with the
+committed baseline, so the policy is: the tree may carry old,
+explicitly-inventoried debt, but no *new* finding can land.
+
+The repo's committed baseline is **empty** — every pre-existing
+finding was either fixed or suppressed in-source with a rationale —
+and the acceptance test pins it stays that way.  The machinery exists
+for downstream forks (and for ratcheting a big rule rollout: write the
+baseline, burn it down, delete it).
+
+Findings are matched by ``(posix path, rule id, stripped source-line
+text)`` with a per-key occurrence count, not by line *number* — edits
+above a finding must not churn the baseline.  Matching is
+first-come-first-served in report order: if the tree has three
+identical findings and the baseline admits two, exactly one is new.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from .checkers import Violation
+
+__all__ = ["Baseline", "BaselineError"]
+
+_VERSION = 1
+
+Key = Tuple[str, str, str]
+
+
+class BaselineError(ValueError):
+    """Malformed baseline file."""
+
+
+def _posix(path: str) -> str:
+    return Path(path).as_posix()
+
+
+def _snippet(violation: Violation, line_cache: Dict[str, List[str]]) -> str:
+    lines = line_cache.get(violation.path)
+    if lines is None:
+        try:
+            lines = Path(violation.path).read_text(
+                encoding="utf-8"
+            ).splitlines()
+        except OSError:
+            lines = []
+        line_cache[violation.path] = lines
+    if 1 <= violation.line <= len(lines):
+        return lines[violation.line - 1].strip()
+    return ""
+
+
+@dataclass
+class Baseline:
+    """Accepted findings, keyed content-wise (line-number free)."""
+
+    entries: Dict[Key, int] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: "Path | str") -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"{path}: not valid JSON: {exc}") from exc
+        if not isinstance(doc, dict) or doc.get("version") != _VERSION:
+            raise BaselineError(
+                f"{path}: unsupported baseline version "
+                f"{doc.get('version')!r} (expected {_VERSION})"
+            )
+        entries: Dict[Key, int] = {}
+        for entry in doc.get("entries", []):
+            key = (
+                str(entry["path"]),
+                str(entry["rule"]),
+                str(entry.get("snippet", "")),
+            )
+            entries[key] = entries.get(key, 0) + int(entry.get("count", 1))
+        return cls(entries=entries)
+
+    @classmethod
+    def from_violations(
+        cls, violations: List[Violation]
+    ) -> "Baseline":
+        entries: Dict[Key, int] = {}
+        line_cache: Dict[str, List[str]] = {}
+        for violation in violations:
+            key = (
+                _posix(violation.path),
+                violation.rule,
+                _snippet(violation, line_cache),
+            )
+            entries[key] = entries.get(key, 0) + 1
+        return cls(entries=entries)
+
+    def to_dict(self) -> dict:
+        return {
+            "version": _VERSION,
+            "entries": [
+                {"path": path, "rule": rule, "snippet": snippet, "count": count}
+                for (path, rule, snippet), count in sorted(
+                    self.entries.items()
+                )
+            ],
+        }
+
+    def write(self, path: "Path | str") -> None:
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def filter(
+        self, violations: List[Violation]
+    ) -> Tuple[List[Violation], int]:
+        """Split ``violations`` into (new, matched-count).
+
+        Consumes baseline occurrence budget in report order so a
+        count-``n`` entry absorbs at most ``n`` identical findings.
+        """
+        remaining = dict(self.entries)
+        line_cache: Dict[str, List[str]] = {}
+        new: List[Violation] = []
+        matched = 0
+        for violation in violations:
+            key = (
+                _posix(violation.path),
+                violation.rule,
+                _snippet(violation, line_cache),
+            )
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                matched += 1
+            else:
+                new.append(violation)
+        return new, matched

@@ -20,11 +20,30 @@ import tokenize
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
-from .rules import LintConfig
+from .rules import ALL_RULE_IDS, LintConfig
 
-#: ``# simlint: disable=rule-a,rule-b`` or ``# simlint: hot-path``.
+#: Matches the three directive forms: per-line ``disable=<id>,<id>``,
+#: file-level ``disable-file=<id>`` (first comment block only) and the
+#: ``hot-path`` class marker.
 _DIRECTIVE_RE = re.compile(
-    r"#\s*simlint:\s*(?:disable=(?P<rules>[\w\-, ]+)|(?P<hotpath>hot-path))"
+    r"#\s*simlint:\s*(?:"
+    r"disable-file=(?P<filerules>[\w\-, ]+)"
+    r"|disable=(?P<rules>[\w\-, ]+)"
+    r"|(?P<hotpath>hot-path))"
+)
+
+#: Token types that may precede the first statement without ending the
+#: file-header comment block (the module docstring is allowed through
+#: so ``# simlint: disable-file=`` can follow it).
+_HEADER_TOKENS = frozenset(
+    {
+        tokenize.ENCODING,
+        tokenize.COMMENT,
+        tokenize.NL,
+        tokenize.NEWLINE,
+        tokenize.INDENT,
+        tokenize.DEDENT,
+    }
 )
 
 _RANDOM_MODULE_OK = frozenset({"Random"})
@@ -69,39 +88,134 @@ class Violation:
         )
 
 
-def collect_comment_directives(
-    source: str,
-) -> Tuple[Dict[int, FrozenSet[str]], FrozenSet[int]]:
-    """Extract per-line suppressions and hot-path markers.
+@dataclass
+class Directives:
+    """All ``# simlint:`` comment directives found in one file.
 
-    Returns ``(suppressions, hot_path_lines)`` where ``suppressions``
-    maps a physical line number to the rule ids disabled on it (the
-    literal id ``"all"`` disables every rule) and ``hot_path_lines``
-    is the set of lines carrying a ``# simlint: hot-path`` marker.
+    * ``suppressions`` — line -> rule ids disabled there.  A directive
+      on a *continuation* line of a multi-line statement is attributed
+      both to its physical line and to the statement's first line
+      (where violations are reported), so ``disable=`` works anywhere
+      inside the statement.
+    * ``hot_path_lines`` — lines carrying ``# simlint: hot-path``.
+    * ``file_disables`` — rule ids disabled for the whole file by a
+      ``# simlint: disable-file=<id>`` directive in the file's first
+      comment block (comments before any code; a module docstring may
+      precede them).  ``disable-file`` elsewhere is ignored with a
+      warning.  File-level disables take precedence over (subsume)
+      per-line directives for the same rule.
+    * ``warnings`` — ``(line, message)`` pairs for malformed
+      directives: unknown rule ids and misplaced ``disable-file``.
+      These are surfaced in the report, never silently dropped.
     """
-    suppressions: Dict[int, FrozenSet[str]] = {}
+
+    suppressions: Dict[int, FrozenSet[str]] = None  # type: ignore[assignment]
+    hot_path_lines: FrozenSet[int] = frozenset()
+    file_disables: FrozenSet[str] = frozenset()
+    warnings: List[Tuple[int, str]] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.suppressions is None:
+            self.suppressions = {}
+        if self.warnings is None:
+            self.warnings = []
+
+
+def _split_rule_list(raw: str) -> FrozenSet[str]:
+    return frozenset(
+        part.strip() for part in raw.split(",") if part.strip()
+    )
+
+
+def collect_comment_directives(source: str) -> Directives:
+    """Extract suppression / hot-path / file-disable directives.
+
+    One :mod:`tokenize` pass.  The literal rule id ``"all"`` disables
+    every rule; unknown ids produce a warning entry instead of being
+    silently ignored.
+    """
+    out = Directives()
+    suppressions: Dict[int, Set[str]] = {}
     hot_path_lines: Set[int] = set()
+    file_disables: Set[str] = set()
+    #: First line of the logical line currently being tokenized, so a
+    #: directive on a continuation line reaches the reporting line.
+    logical_start: Optional[int] = None
+    #: Inside the file-header comment block (only ENCODING / comments /
+    #: blank lines / the module docstring seen so far)?
+    in_header = True
+    docstring_seen = False
+
+    def note_unknown(line: int, rules: FrozenSet[str]) -> None:
+        for rule in sorted(rules - ALL_RULE_IDS - {"all"}):
+            out.warnings.append(
+                (line, f"unknown rule id '{rule}' in simlint directive")
+            )
+
+    def add_suppression(lines: Iterable[int], rules: FrozenSet[str]) -> None:
+        known = rules & (ALL_RULE_IDS | {"all"})
+        if not known:
+            return
+        for line in lines:
+            suppressions.setdefault(line, set()).update(known)
+
     try:
-        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
-        for tok in tokens:
-            if tok.type != tokenize.COMMENT:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                match = _DIRECTIVE_RE.search(tok.string)
+                if match is None:
+                    continue
+                line = tok.start[0]
+                lines = {line}
+                if logical_start is not None:
+                    lines.add(logical_start)
+                if match.group("hotpath"):
+                    hot_path_lines.update(lines)
+                elif match.group("filerules") is not None:
+                    rules = _split_rule_list(match.group("filerules"))
+                    note_unknown(line, rules)
+                    if in_header:
+                        file_disables.update(
+                            rules & (ALL_RULE_IDS | {"all"})
+                        )
+                    else:
+                        out.warnings.append(
+                            (
+                                line,
+                                "'disable-file' outside the first "
+                                "comment block has no effect — move it "
+                                "above the first statement or use a "
+                                "per-line 'disable='",
+                            )
+                        )
+                else:
+                    rules = _split_rule_list(match.group("rules"))
+                    note_unknown(line, rules)
+                    add_suppression(lines, rules)
                 continue
-            match = _DIRECTIVE_RE.search(tok.string)
-            if match is None:
+            if tok.type in _HEADER_TOKENS:
+                if tok.type == tokenize.NEWLINE:
+                    logical_start = None
                 continue
-            line = tok.start[0]
-            if match.group("hotpath"):
-                hot_path_lines.add(line)
-            else:
-                rules = frozenset(
-                    part.strip()
-                    for part in match.group("rules").split(",")
-                    if part.strip()
-                )
-                suppressions[line] = suppressions.get(line, frozenset()) | rules
+            # First non-trivial token of a logical line.
+            if logical_start is None:
+                logical_start = tok.start[0]
+            if in_header:
+                if (
+                    tok.type == tokenize.STRING
+                    and not docstring_seen
+                ):
+                    docstring_seen = True
+                else:
+                    in_header = False
     except tokenize.TokenError:
         pass
-    return suppressions, hot_path_lines
+    out.suppressions = {
+        line: frozenset(rules) for line, rules in suppressions.items()
+    }
+    out.hot_path_lines = frozenset(hot_path_lines)
+    out.file_disables = frozenset(file_disables)
+    return out
 
 
 def _is_set_expr(node: ast.AST) -> bool:
@@ -660,19 +774,64 @@ def check_source(
     path: str,
     posix_path: str,
     config: LintConfig,
+    project: "object | None" = None,
+    warnings: "List[str] | None" = None,
 ) -> List[Violation]:
     """Lint one file's source text; returns unsuppressed violations
-    sorted by (line, col, rule)."""
-    suppressions, hot_path_lines = collect_comment_directives(source)
-    tree = ast.parse(source, filename=path)
+    sorted by (line, col, rule).
+
+    ``project`` is an optional :class:`~.project.Project` giving the
+    cross-file passes (taint summaries, imported ``async def`` names)
+    their whole-tree context; without one, a single-file project is
+    built on the fly.  ``warnings`` collects rendered directive
+    warnings (unknown rule ids, misplaced ``disable-file``) when a
+    list is passed.
+    """
+    directives = collect_comment_directives(source)
+
+    # Project-wide passes (dataflow taint, async/fork-safety, numpy
+    # hot-path).  Imported lazily: these modules import Violation from
+    # here, so a top-level import would be circular.
+    from .async_checks import check_async
+    from .numpy_checks import check_numpy
+    from .project import Project
+    from .taint import check_taint
+
+    if project is None:
+        tree = ast.parse(source, filename=path)
+        project = Project.from_sources([(path, posix_path, source, tree)])
+    module = project.module_for(posix_path)
+    tree = module.tree if module is not None else ast.parse(
+        source, filename=path
+    )
+
     checker = _FileChecker(
-        path, posix_path, tree, config, frozenset(hot_path_lines)
+        path, posix_path, tree, config, directives.hot_path_lines
     )
     checker.visit(tree)
+    violations = list(checker.violations)
+    if module is not None:
+        violations.extend(check_taint(module, project, config))
+        violations.extend(check_async(module, project, config))
+        violations.extend(
+            check_numpy(module, config, directives.hot_path_lines)
+        )
+
+    if warnings is not None:
+        warnings.extend(
+            f"{path}:{line}: warning: {message}"
+            for line, message in directives.warnings
+        )
+
     kept = []
     seen = set()
-    for violation in checker.violations:
-        disabled = suppressions.get(violation.line, frozenset())
+    for violation in violations:
+        if (
+            "all" in directives.file_disables
+            or violation.rule in directives.file_disables
+        ):
+            continue
+        disabled = directives.suppressions.get(violation.line, frozenset())
         if "all" in disabled or violation.rule in disabled:
             continue
         # Nested functions are walked by both their own visit and the

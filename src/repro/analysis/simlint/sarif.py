@@ -1,0 +1,149 @@
+"""SARIF 2.1.0 export for ``simlint`` reports.
+
+``repro lint --sarif`` emits one SARIF log with a single run: the
+full rule registry as ``tool.driver.rules`` (stable ids, summaries,
+rationale) and one ``result`` per finding, addressed by posix-path
+URI + 1-based line/column region.  GitHub code scanning ingests this
+via ``github/codeql-action/upload-sarif`` (see ``.github/workflows/
+ci.yml``), which turns findings into inline PR annotations.
+
+Parse errors are exported as ``level: "error"`` results under the
+synthetic rule id ``parse-error`` so a syntactically broken file is
+visible in the scan, not silently absent from it.
+
+The shape is pinned by ``tests/test_simlint.py`` against a SARIF
+2.1.0 JSON schema fixture.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List
+
+from .rules import RULES
+
+__all__ = ["report_to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_PARSE_ERROR_RE = re.compile(r"^(?P<path>.+?):(?P<line>\d+): parse-error: ")
+
+
+def _driver_rules() -> List[dict]:
+    return [
+        {
+            "id": rule.id,
+            "name": "".join(
+                part.capitalize() for part in rule.id.split("-")
+            ),
+            "shortDescription": {"text": rule.summary},
+            "fullDescription": {"text": rule.rationale or rule.summary},
+            "helpUri": (
+                "https://github.com/paper-repro/afc/blob/main/docs/"
+                "ANALYSIS.md"
+            ),
+            "defaultConfiguration": {"level": "error"},
+            "properties": {"scope": rule.scope},
+        }
+        for rule in RULES
+    ]
+
+
+def report_to_sarif(report) -> dict:
+    """Convert a :class:`~repro.analysis.simlint.LintReport` to a
+    SARIF 2.1.0 log ``dict`` (JSON-serialisable)."""
+    from repro import __version__
+
+    rules = _driver_rules()
+    rule_index: Dict[str, int] = {
+        entry["id"]: index for index, entry in enumerate(rules)
+    }
+
+    results: List[dict] = []
+    for violation in report.violations:
+        result = {
+            "ruleId": violation.rule,
+            "level": "error",
+            "message": {"text": violation.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": Path(violation.path).as_posix(),
+                        },
+                        "region": {
+                            "startLine": max(1, violation.line),
+                            "startColumn": violation.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        index = rule_index.get(violation.rule)
+        if index is not None:
+            result["ruleIndex"] = index
+        results.append(result)
+
+    for error in report.parse_errors:
+        match = _PARSE_ERROR_RE.match(error)
+        location = []
+        if match is not None:
+            location = [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": Path(match.group("path")).as_posix(),
+                        },
+                        "region": {
+                            "startLine": max(1, int(match.group("line"))),
+                        },
+                    }
+                }
+            ]
+        results.append(
+            {
+                "ruleId": "parse-error",
+                "level": "error",
+                "message": {"text": error},
+                "locations": location,
+            }
+        )
+
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "simlint",
+                        "informationUri": (
+                            "https://github.com/paper-repro/afc/blob/"
+                            "main/docs/ANALYSIS.md"
+                        ),
+                        "version": __version__,
+                        "rules": rules,
+                    }
+                },
+                "invocations": [
+                    {
+                        "executionSuccessful": True,
+                        "toolExecutionNotifications": [
+                            {
+                                "level": "warning",
+                                "message": {"text": warning},
+                            }
+                            for warning in getattr(report, "warnings", [])
+                        ],
+                    }
+                ],
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+            }
+        ],
+    }

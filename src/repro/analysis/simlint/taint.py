@@ -1,0 +1,538 @@
+"""RNG taint analysis (the ``simlint`` project pass's dataflow core).
+
+Tracks values *derived from* an RNG stream — ``random.Random`` /
+``np.random.default_rng`` instances, whether seeded or not — through
+assignments, arithmetic, and project-function calls (via the call
+summaries :class:`~.project.Project` computes), and flags the three
+sinks where such a value silently breaks cross-process bit-identity:
+
+* **hash-keyed storage** (``rng-tainted-hash-key``) — a tainted value
+  inserted into a set or used as a dict key.  The *container* is then
+  hash-ordered by sampled values, so its layout depends on
+  ``PYTHONHASHSEED`` even when the stream itself is seeded.
+* **order-sensitive iteration** (``rng-tainted-iteration``) — a
+  ``for`` / comprehension over a set or dict that received tainted
+  keys, or directly over ``set(<tainted>)``.
+* **float equality** (``rng-tainted-float-eq``) — an RNG-drawn float
+  compared with ``==`` / ``!=``.
+
+The analysis is intraprocedural per function, iterated to a local
+fixpoint (loops propagate taint backwards), with call summaries
+supplying the cross-function step: ``def jitter(rng): return
+rng.random()`` is summarised as RNG-returning, so ``x = jitter(rng)``
+taints ``x`` at every call site project-wide.
+
+Deliberately conservative: unknown calls, attribute chains we cannot
+resolve, and containers we cannot prove set/dict-typed are all
+*untainted* — a clean run must stay meaningful as a CI gate.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from .checkers import Violation
+from .rules import LintConfig
+
+__all__ = ["check_taint", "function_return_taint"]
+
+#: RNG methods whose result is a float (the ``rng-tainted-float-eq``
+#: sources); everything else drawn from an RNG taints without the
+#: float mark.
+_FLOAT_DRAWS = frozenset(
+    {
+        "random",
+        "uniform",
+        "gauss",
+        "normalvariate",
+        "lognormvariate",
+        "expovariate",
+        "vonmisesvariate",
+        "paretovariate",
+        "weibullvariate",
+        "betavariate",
+        "gammavariate",
+        "triangular",
+        # numpy Generator draws
+        "normal",
+        "standard_normal",
+        "exponential",
+        "rayleigh",
+        "laplace",
+        "logistic",
+        "gamma",
+        "beta",
+    }
+)
+
+#: Builtins that pass a tainted argument through to their result.
+_PASSTHROUGH_CALLS = frozenset(
+    {"sorted", "list", "tuple", "min", "max", "sum", "abs", "reversed"}
+)
+
+#: Builtins that keep taint but drop the float mark (int-valued).
+_INT_CALLS = frozenset({"int", "len", "round", "hash"})
+
+#: Parameter names treated as RNG streams even without an annotation
+#: (the repo-wide convention for threading seeded streams).
+_RNG_PARAM_NAMES = frozenset({"rng"})
+
+Key = Tuple[str, ...]
+
+
+def _key(node: ast.AST) -> Optional[Key]:
+    """Hashable identity for ``name`` / ``obj.attr`` references."""
+    if isinstance(node, ast.Name):
+        return ("name", node.id)
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+        return ("attr", node.value.id, node.attr)
+    return None
+
+
+def _is_rng_annotation(node: Optional[ast.AST]) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, ast.Name):
+        return node.id in ("Random", "Generator")
+    if isinstance(node, ast.Attribute):
+        return node.attr in ("Random", "Generator")
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return "Random" in node.value or "Generator" in node.value
+    return False
+
+
+def _is_rng_constructor(node: ast.AST) -> bool:
+    """``random.Random(...)`` / ``Random(...)`` / ``default_rng(...)``
+    / ``np.random.default_rng(...)`` — seeded or not; taint tracks the
+    *stream*, not the seeding discipline (other rules police that)."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    name = (
+        func.id
+        if isinstance(func, ast.Name)
+        else func.attr
+        if isinstance(func, ast.Attribute)
+        else None
+    )
+    return name in ("Random", "default_rng", "Generator")
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def _is_dict_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Dict, ast.DictComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("dict", "defaultdict", "Counter")
+    return False
+
+
+class _FunctionTaint:
+    """One function's taint state, iterated to a fixpoint."""
+
+    def __init__(
+        self,
+        func: ast.AST,
+        module,  # ModuleInfo
+        project,  # Project
+        rng_attrs: FrozenSet[str] = frozenset(),
+    ) -> None:
+        self.func = func
+        self.module = module
+        self.project = project
+        #: References bound to RNG stream objects.
+        self.rng: Set[Key] = set()
+        #: References holding RNG-derived values.
+        self.tainted: Set[Key] = set()
+        #: Subset of ``tainted`` known float-valued.
+        self.floaty: Set[Key] = set()
+        #: set-typed bindings / dict-typed bindings.
+        self.set_like: Set[Key] = set()
+        self.dict_like: Set[Key] = set()
+        #: Containers that received a tainted key / element.
+        self.tainted_order: Set[Key] = set()
+
+        args = getattr(func, "args", None)
+        if args is not None:
+            every = [
+                *args.posonlyargs,
+                *args.args,
+                *args.kwonlyargs,
+            ]
+            for arg in every:
+                if arg.arg in _RNG_PARAM_NAMES or _is_rng_annotation(
+                    arg.annotation
+                ):
+                    self.rng.add(("name", arg.arg))
+            if args.args and rng_attrs:
+                self_name = args.args[0].arg
+                for attr in rng_attrs:
+                    self.rng.add(("attr", self_name, attr))
+
+    # -- expression taint ----------------------------------------------
+
+    def _is_rng_ref(self, node: ast.AST) -> bool:
+        key = _key(node)
+        return key is not None and key in self.rng
+
+    def expr_taint(self, node: ast.AST) -> Tuple[bool, bool]:
+        """``(tainted, float_valued)`` for an expression."""
+        key = _key(node)
+        if key is not None:
+            return key in self.tainted, key in self.floaty
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and self._is_rng_ref(
+                func.value
+            ):
+                return True, func.attr in _FLOAT_DRAWS
+            if isinstance(func, ast.Name):
+                summary = self.project.rng_summary(self.module, func.id)
+                if summary is not None:
+                    return True, summary == "float"
+                if func.id in _PASSTHROUGH_CALLS | _INT_CALLS | {
+                    "float",
+                    "set",
+                    "frozenset",
+                }:
+                    tainted = any(
+                        self.expr_taint(arg)[0] for arg in node.args
+                    )
+                    if not tainted:
+                        return False, False
+                    if func.id in _INT_CALLS:
+                        return True, False
+                    if func.id == "float":
+                        return True, True
+                    return True, any(
+                        self.expr_taint(arg)[1] for arg in node.args
+                    )
+            return False, False
+        if isinstance(node, ast.BinOp):
+            lt, lf = self.expr_taint(node.left)
+            rt, rf = self.expr_taint(node.right)
+            return lt or rt, lf or rf
+        if isinstance(node, ast.UnaryOp):
+            return self.expr_taint(node.operand)
+        if isinstance(node, ast.IfExp):
+            bt, bf = self.expr_taint(node.body)
+            ot, of = self.expr_taint(node.orelse)
+            return bt or ot, bf or of
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            results = [self.expr_taint(elt) for elt in node.elts]
+            return (
+                any(t for t, _ in results),
+                any(f for _, f in results),
+            )
+        if isinstance(node, ast.Subscript):
+            return self.expr_taint(node.value)
+        if isinstance(node, ast.Starred):
+            return self.expr_taint(node.value)
+        return False, False
+
+    # -- fixpoint over the body ----------------------------------------
+
+    def _snapshot(self) -> Tuple[int, int, int, int]:
+        return (
+            len(self.rng),
+            len(self.tainted),
+            len(self.floaty),
+            len(self.tainted_order),
+        )
+
+    def run(self) -> None:
+        for _ in range(4):
+            before = self._snapshot()
+            self._propagate()
+            if self._snapshot() == before:
+                break
+
+    def _bind(self, target: ast.AST, tainted: bool, floaty: bool) -> None:
+        key = _key(target)
+        if key is None:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                for elt in target.elts:
+                    self._bind(elt, tainted, floaty)
+            return
+        if tainted:
+            self.tainted.add(key)
+            if floaty:
+                self.floaty.add(key)
+
+    def _propagate(self) -> None:
+        for node in ast.walk(self.func):
+            value: Optional[ast.AST] = None
+            targets: Tuple[ast.AST, ...] = ()
+            if isinstance(node, ast.Assign):
+                value, targets = node.value, tuple(node.targets)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                value, targets = node.value, (node.target,)
+            elif isinstance(node, ast.AugAssign):
+                value, targets = node.value, (node.target,)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                tainted, floaty = self.expr_taint(node.iter)
+                if tainted:
+                    self._bind(node.target, True, floaty)
+                continue
+            elif isinstance(node, ast.comprehension):
+                tainted, floaty = self.expr_taint(node.iter)
+                if tainted:
+                    self._bind(node.target, True, floaty)
+                continue
+            if value is None:
+                continue
+            if _is_rng_constructor(value):
+                for target in targets:
+                    key = _key(target)
+                    if key is not None:
+                        self.rng.add(key)
+                continue
+            for target in targets:
+                key = _key(target)
+                if key is not None:
+                    if _is_set_expr(value):
+                        self.set_like.add(key)
+                    elif _is_dict_expr(value):
+                        self.dict_like.add(key)
+            tainted, floaty = self.expr_taint(value)
+            if tainted:
+                for target in targets:
+                    self._bind(target, True, floaty)
+            # A set/dict built *from* tainted values is hash-ordered.
+            if self._builds_tainted_order(value):
+                for target in targets:
+                    key = _key(target)
+                    if key is not None:
+                        self.tainted_order.add(key)
+
+    def _builds_tainted_order(self, value: ast.AST) -> bool:
+        """Does this expression construct a hash-ordered container of
+        tainted keys/elements?"""
+        if isinstance(value, ast.Set):
+            return any(self.expr_taint(e)[0] for e in value.elts)
+        if isinstance(value, ast.Dict):
+            return any(
+                k is not None and self.expr_taint(k)[0]
+                for k in value.keys
+            )
+        if isinstance(value, ast.SetComp):
+            return self.expr_taint(value.elt)[0]
+        if isinstance(value, ast.DictComp):
+            return self.expr_taint(value.key)[0]
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in ("set", "frozenset")
+            and value.args
+        ):
+            return self.expr_taint(value.args[0])[0]
+        return False
+
+    # -- sinks ----------------------------------------------------------
+
+    def find_sinks(self) -> List[Tuple[str, ast.AST, str]]:
+        """``(rule, node, message)`` triples, in AST walk order."""
+        out: List[Tuple[str, ast.AST, str]] = []
+        for node in ast.walk(self.func):
+            # tainted value -> set element / dict key.
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "add"
+                and node.args
+                and self.expr_taint(node.args[0])[0]
+            ):
+                container = _key(node.func.value)
+                if container is not None:
+                    self.tainted_order.add(container)
+                out.append(
+                    (
+                        "rng-tainted-hash-key",
+                        node,
+                        "RNG-derived value added to a set — the "
+                        "container's order now depends on "
+                        "PYTHONHASHSEED",
+                    )
+                )
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and _key(target.value) in self.dict_like
+                        and self.expr_taint(target.slice)[0]
+                    ):
+                        self.tainted_order.add(_key(target.value))
+                        out.append(
+                            (
+                                "rng-tainted-hash-key",
+                                node,
+                                "RNG-derived value used as a dict key "
+                                "— the mapping's order now depends on "
+                                "PYTHONHASHSEED",
+                            )
+                        )
+            elif isinstance(node, (ast.Set, ast.Dict, ast.SetComp, ast.DictComp)):
+                if self._builds_tainted_order(node):
+                    out.append(
+                        (
+                            "rng-tainted-hash-key",
+                            node,
+                            "hash-keyed container built from "
+                            "RNG-derived values",
+                        )
+                    )
+            # tainted-order container -> iteration.
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                hit = self._iteration_sink(node.iter)
+                if hit:
+                    out.append(("rng-tainted-iteration", node, hit))
+            elif isinstance(
+                node,
+                (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp),
+            ):
+                for generator in node.generators:
+                    hit = self._iteration_sink(generator.iter)
+                    if hit:
+                        out.append(("rng-tainted-iteration", node, hit))
+            # tainted float -> equality.
+            if isinstance(node, ast.Compare) and any(
+                isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops
+            ):
+                operands = [node.left, *node.comparators]
+                if any(
+                    self.expr_taint(operand) == (True, True)
+                    for operand in operands
+                ):
+                    out.append(
+                        (
+                            "rng-tainted-float-eq",
+                            node,
+                            "RNG-drawn float compared with == / != — "
+                            "a probability-zero branch that differs "
+                            "across platforms when it fires",
+                        )
+                    )
+        return out
+
+    def _iteration_sink(self, iter_expr: ast.AST) -> Optional[str]:
+        # ``for x in d.items()/keys()/values()`` unwraps to ``d``.
+        expr = iter_expr
+        if (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Attribute)
+            and expr.func.attr in ("items", "keys", "values")
+            and not expr.args
+        ):
+            expr = expr.func.value
+        key = _key(expr)
+        if key is not None and key in self.tainted_order and (
+            key in self.set_like or key in self.dict_like
+        ):
+            return (
+                "iterating a set/dict keyed by RNG-derived values — "
+                "hash order varies with PYTHONHASHSEED across "
+                "processes"
+            )
+        if self._builds_tainted_order(iter_expr):
+            return (
+                "iterating a hash-ordered container built from "
+                "RNG-derived values"
+            )
+        return None
+
+
+def _class_rng_attrs(klass: ast.ClassDef) -> FrozenSet[str]:
+    """``self.<attr>`` names bound to RNG streams in ``__init__``."""
+    attrs: Set[str] = set()
+    for stmt in klass.body:
+        if (
+            not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            or stmt.name != "__init__"
+            or not stmt.args.args
+        ):
+            continue
+        self_name = stmt.args.args[0].arg
+        rng_params = {
+            arg.arg
+            for arg in [
+                *stmt.args.posonlyargs,
+                *stmt.args.args,
+                *stmt.args.kwonlyargs,
+            ]
+            if arg.arg in _RNG_PARAM_NAMES
+            or _is_rng_annotation(arg.annotation)
+        }
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Assign):
+                continue
+            is_stream = _is_rng_constructor(node.value) or (
+                isinstance(node.value, ast.Name)
+                and node.value.id in rng_params
+            )
+            if not is_stream:
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == self_name
+                ):
+                    attrs.add(target.attr)
+    return frozenset(attrs)
+
+
+def function_return_taint(
+    func: ast.AST, module, project
+) -> Optional[str]:
+    """Call summary for one top-level function: ``"float"`` / ``"any"``
+    when some return value is RNG-derived, else ``None``."""
+    scan = _FunctionTaint(func, module, project)
+    scan.run()
+    summary: Optional[str] = None
+    for node in ast.walk(func):
+        if isinstance(node, ast.Return) and node.value is not None:
+            tainted, floaty = scan.expr_taint(node.value)
+            if tainted:
+                summary = "float" if floaty else (summary or "any")
+    return summary
+
+
+def check_taint(module, project, config: LintConfig) -> List[Violation]:
+    """Run the RNG taint pass over every function in ``module``."""
+    violations: List[Violation] = []
+
+    def scan_function(func: ast.AST, rng_attrs: FrozenSet[str]) -> None:
+        scan = _FunctionTaint(func, module, project, rng_attrs)
+        scan.run()
+        for rule, node, message in scan.find_sinks():
+            if not config.rule_applies(rule, module.posix_path):
+                continue
+            violations.append(
+                Violation(
+                    path=module.path,
+                    line=getattr(node, "lineno", 1),
+                    col=getattr(node, "col_offset", 0),
+                    rule=rule,
+                    message=message,
+                )
+            )
+
+    for node in module.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scan_function(node, frozenset())
+        elif isinstance(node, ast.ClassDef):
+            rng_attrs = _class_rng_attrs(node)
+            for stmt in node.body:
+                if isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    scan_function(stmt, rng_attrs)
+    return violations

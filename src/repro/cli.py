@@ -830,7 +830,7 @@ def _cmd_queue(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from .analysis.simlint import lint_paths
+    from .analysis.simlint import Baseline, BaselineError, lint_paths
 
     paths = args.paths
     if not paths:
@@ -838,8 +838,28 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         import repro
 
         paths = [str(Path(repro.__file__).parent)]
-    report = lint_paths(paths)
-    if args.json:
+
+    baseline = None
+    if args.baseline is not None and not args.write_baseline:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except BaselineError as exc:
+            print(f"simlint: {exc}", file=sys.stderr)
+            return 2
+
+    report = lint_paths(paths, baseline=baseline)
+
+    if args.write_baseline:
+        target = args.baseline or ".simlint-baseline.json"
+        Baseline.from_violations(report.violations).write(target)
+        print(
+            f"simlint: wrote {len(report.violations)} finding(s) to "
+            f"{target}"
+        )
+        return 0
+    if args.sarif:
+        _emit_json(report.to_sarif())
+    elif args.json:
         _emit_json(report.to_dict())
     else:
         print(report.render(summary_only=args.check))
@@ -1167,7 +1187,10 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "paths",
         nargs="*",
-        help="files or directories to lint (default: the repro package)",
+        help=(
+            "files or directories to lint; several may be given, e.g. "
+            "'src/repro benchmarks scripts' (default: the repro package)"
+        ),
     )
     lint.add_argument(
         "--json",
@@ -1175,9 +1198,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the machine-readable violation report as JSON",
     )
     lint.add_argument(
+        "--sarif",
+        action="store_true",
+        help=(
+            "emit a SARIF 2.1.0 log on stdout (GitHub code scanning "
+            "ingests this via upload-sarif)"
+        ),
+    )
+    lint.add_argument(
         "--check",
         action="store_true",
         help="summary-only output (CI gate; exit code is 1 on violations)",
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=(
+            "subtract findings recorded in this baseline file "
+            "(.simlint-baseline.json); only findings NOT in the "
+            "baseline fail the run — the zero-new-findings policy"
+        ),
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help=(
+            "record the current findings into the baseline file "
+            "(--baseline, default .simlint-baseline.json) and exit 0"
+        ),
     )
     lint.set_defaults(func=_cmd_lint)
 

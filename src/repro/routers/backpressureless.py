@@ -123,7 +123,9 @@ def allocate_deflection_ports(
             if chosen is None:
                 unplaced.append(flit)
             else:
-                assignment[chosen] = flit
+                # Direction-keyed dict: iteration order is insertion
+                # order, fully determined by the seeded stream.
+                assignment[chosen] = flit  # simlint: disable=rng-tainted-hash-key
         return assignment, unplaced
     for flit in order:
         preferred = prod_row[flit.dst]
@@ -148,7 +150,8 @@ def allocate_deflection_ports(
         if chosen is None:
             unplaced.append(flit)
         else:
-            assignment[chosen] = flit
+            # Same Direction-keyed insertion-order argument as above.
+            assignment[chosen] = flit  # simlint: disable=rng-tainted-hash-key
     return assignment, unplaced
 
 

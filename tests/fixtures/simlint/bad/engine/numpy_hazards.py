@@ -1,0 +1,29 @@
+"""Deliberately hazardous fixture: numpy hot-path rules (engine scope).
+
+Every violation below is asserted (rule id + exact line number) by
+tests/test_simlint.py — keep line numbers stable when editing.
+"""
+
+import numpy as np
+
+
+class VectorScratch:  # simlint: hot-path
+    __slots__ = ("lanes", "energy32", "totals")
+
+    def __init__(self):
+        self.lanes = np.zeros((4, 4), dtype=object)  # line 14: object-dtype
+        self.energy32 = np.zeros(16, dtype=np.float32)
+        self.totals = np.zeros(16, dtype=np.float64)
+
+    def step(self):
+        for lane in self.lanes:  # line 19: numpy-python-loop
+            lane[0] = 1
+        np.add.accumulate(self.energy32)  # line 21: numpy-dtype-mixing
+        return self.totals + self.energy32  # line 22: numpy-dtype-mixing
+
+
+def grow(samples):
+    out = np.zeros(0)
+    for value in samples:
+        out = np.append(out, value)  # line 28: numpy-append-loop
+    return out

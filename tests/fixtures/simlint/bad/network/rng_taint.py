@@ -1,0 +1,30 @@
+"""Deliberately hazardous fixture: RNG taint dataflow (network scope).
+
+Every violation below is asserted (rule id + exact line number) by
+tests/test_simlint.py — keep line numbers stable when editing.
+"""
+
+import random
+
+
+def jitter(rng):
+    return rng.random()  # summarised: returns an RNG-derived float
+
+
+def arbitrate(rng, table):
+    pick = rng.randrange(4)
+    contenders = {pick, 3}  # line 16: rng-tainted-hash-key
+    for member in contenders:  # line 17: rng-tainted-iteration
+        table[member] = member
+    draw = jitter(rng)
+    reference = jitter(rng)
+    if draw == reference:  # line 21: rng-tainted-float-eq
+        return None
+    return draw
+
+
+def seeded_streams_still_taint():
+    rng = random.Random(42)
+    live = set()
+    live.add(rng.randrange(8))  # line 29: rng-tainted-hash-key
+    return sorted(live)

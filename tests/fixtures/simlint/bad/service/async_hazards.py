@@ -1,0 +1,26 @@
+"""Deliberately hazardous fixture: async / fork-safety (service scope).
+
+Every violation below is asserted (rule id + exact line number) by
+tests/test_simlint.py — keep line numbers stable when editing.
+"""
+
+import asyncio
+import time  # simlint: disable=wallclock
+
+PENDING = asyncio.Lock()  # line 10: fork-unsafe-module-state
+JOBS = {}  # line 11: mutable-module-state (mutated by record below)
+
+
+async def poll(worker):
+    time.sleep(0.1)  # line 15: async-blocking-call
+    with open("state.json") as fh:  # line 16: async-blocking-call
+        return fh.read()
+
+
+async def restart(worker):
+    poll(worker)  # line 21: unawaited-coroutine
+    asyncio.sleep(1)  # line 22: unawaited-coroutine
+
+
+def record(key, value):
+    JOBS[key] = value

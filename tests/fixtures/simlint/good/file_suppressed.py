@@ -1,0 +1,16 @@
+"""Clean-by-file-directive fixture (generated-file style).
+
+The whole file accepts wallclock + module-random hazards via a
+file-level directive in the first comment block, so no per-line
+pragmas are needed — the shape generated/fixture files use.
+"""
+
+# Rationale: mimics a generated trace fixture that stamps wall-clock
+# metadata and draws throwaway ids from the module stream.
+# simlint: disable-file=wallclock,module-random
+
+import random
+import time
+
+stamp = time.time()
+pick = random.randrange(4)
