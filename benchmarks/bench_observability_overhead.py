@@ -11,7 +11,12 @@ Two claims are pinned (docs/OBSERVABILITY.md, "Cost"):
 * **On is bounded** — a fully observed run (trace + metrics, the
   per-event hot-path consumers) stays under 2x the wall-clock of the
   unobserved throughput scenario (8x8 AFC at 40% injection, the
-  simulator-throughput benchmark's high-load point).
+  simulator-throughput benchmark's high-load point).  The same budget
+  covers the **streamed** row: observed *plus* the live relay (a
+  :class:`~repro.obs.telemetry.LiveSeedPublisher` thread snapshotting
+  the run every 50 ms, the way a service worker does for ``repro
+  watch``) — and streaming, being a side-thread read of monotone
+  accumulators, must also leave results bit-identical.
 
 Run standalone to (re)generate the archived JSON::
 
@@ -31,11 +36,13 @@ import argparse
 import json
 import pathlib
 import sys
+import tempfile
 import time
 
 from repro import Design, Network, NetworkConfig
 from repro.network.flit import reset_packet_ids
 from repro.obs.hub import Observability, ObservabilityOptions
+from repro.obs.telemetry import LiveSeedPublisher, clear_run, publish_run
 from repro.traffic.synthetic import uniform_random_traffic
 
 RESULTS_PATH = (
@@ -78,36 +85,51 @@ def fingerprint(net: Network) -> dict:
 
 
 def run_scenario(cycles: int, mode: str):
-    """One throughput-scenario run; mode is ``off``, ``detached`` or
-    ``observed``.  Returns (elapsed seconds, fingerprint, observer)."""
+    """One throughput-scenario run; mode is ``off``, ``detached``,
+    ``observed`` or ``streamed``.  Returns (elapsed seconds,
+    fingerprint, observer, live snapshots written)."""
     reset_packet_ids()
     net = Network(
         NetworkConfig(width=WIDTH, height=HEIGHT), Design.AFC, seed=NET_SEED
     )
     observer = None
+    publisher = None
+    live_dir = None
     if mode == "detached":
         Observability(net, FULL_OPTIONS).attach().detach()
-    elif mode == "observed":
+    elif mode in ("observed", "streamed"):
         observer = Observability(net, FULL_OPTIONS).attach()
+    if mode == "streamed":
+        live_dir = tempfile.TemporaryDirectory(prefix="repro-bench-live-")
+        publish_run(net, observer.registry)
+        publisher = LiveSeedPublisher(
+            pathlib.Path(live_dir.name) / "live.json", interval=0.05
+        ).start()
     source = uniform_random_traffic(
         net, RATE, seed=TRAFFIC_SEED, source_queue_limit=SOURCE_QUEUE_LIMIT
     )
     start = time.perf_counter()
     source.run(cycles)
     elapsed = time.perf_counter() - start
+    snapshots = 0
+    if publisher is not None:
+        publisher.stop()
+        snapshots = publisher.snapshots_written
+        clear_run()
+        live_dir.cleanup()
     if observer is not None:
         observer.detach()
-    return elapsed, fingerprint(net), observer
+    return elapsed, fingerprint(net), observer, snapshots
 
 
 def best_of(cycles: int, mode: str, repeats: int):
     elapsed = []
     result = None
     for _ in range(repeats):
-        seconds, print_, observer = run_scenario(cycles, mode)
+        seconds, print_, observer, snapshots = run_scenario(cycles, mode)
         elapsed.append(seconds)
-        result = (print_, observer)
-    return min(elapsed), result[0], result[1]
+        result = (print_, observer, snapshots)
+    return (min(elapsed),) + result
 
 
 def main(argv=None) -> int:
@@ -121,15 +143,22 @@ def main(argv=None) -> int:
     cycles = 400 if args.quick else 1_500
     repeats = 2 if args.quick else 3
 
-    base_seconds, base_print, _ = best_of(cycles, "off", repeats)
-    detached_seconds, detached_print, _ = best_of(cycles, "detached", repeats)
-    observed_seconds, observed_print, observer = best_of(
+    base_seconds, base_print, _, _ = best_of(cycles, "off", repeats)
+    detached_seconds, detached_print, _, _ = best_of(
+        cycles, "detached", repeats
+    )
+    observed_seconds, observed_print, observer, _ = best_of(
         cycles, "observed", repeats
+    )
+    streamed_seconds, streamed_print, _, live_snapshots = best_of(
+        cycles, "streamed", repeats
     )
 
     off_identical = detached_print == base_print
     observed_identical = observed_print == base_print
+    streamed_identical = streamed_print == base_print
     ratio = observed_seconds / base_seconds
+    streaming_ratio = streamed_seconds / base_seconds
 
     record = {
         "scenario": {
@@ -143,10 +172,14 @@ def main(argv=None) -> int:
         "baseline_seconds": round(base_seconds, 4),
         "detached_seconds": round(detached_seconds, 4),
         "observed_seconds": round(observed_seconds, 4),
+        "streamed_seconds": round(streamed_seconds, 4),
         "overhead_ratio": round(ratio, 3),
+        "streaming_ratio": round(streaming_ratio, 3),
         "max_overhead_ratio": MAX_OVERHEAD_RATIO,
         "bit_identical_when_off": off_identical,
         "bit_identical_when_observed": observed_identical,
+        "bit_identical_when_streamed": streamed_identical,
+        "live_snapshots_written": live_snapshots,
         "trace_events_recorded": observer.tracer.recorded,
         "metric_counters": len(
             observer.registry.to_dict()["counters"]
@@ -158,10 +191,13 @@ def main(argv=None) -> int:
     print(
         f"observability overhead: baseline {base_seconds:.3f}s, "
         f"detached {detached_seconds:.3f}s, "
-        f"observed {observed_seconds:.3f}s ({ratio:.2f}x)"
+        f"observed {observed_seconds:.3f}s ({ratio:.2f}x), "
+        f"streamed {streamed_seconds:.3f}s ({streaming_ratio:.2f}x, "
+        f"{live_snapshots} snapshot(s))"
     )
     print(f"bit-identical off/detached: {off_identical}")
     print(f"bit-identical while observed: {observed_identical}")
+    print(f"bit-identical while streamed: {streamed_identical}")
     print(f"wrote {RESULTS_PATH}")
 
     failures = []
@@ -175,9 +211,19 @@ def main(argv=None) -> int:
             "FAIL: an observed run changed simulation results "
             "(observability must be read-only)"
         )
+    if not streamed_identical:
+        failures.append(
+            "FAIL: a streamed run changed simulation results "
+            "(the live relay must be a read-only side thread)"
+        )
     if ratio >= MAX_OVERHEAD_RATIO:
         failures.append(
             f"FAIL: observed run is {ratio:.2f}x baseline "
+            f"(budget {MAX_OVERHEAD_RATIO:.1f}x)"
+        )
+    if streaming_ratio >= MAX_OVERHEAD_RATIO:
+        failures.append(
+            f"FAIL: streamed run is {streaming_ratio:.2f}x baseline "
             f"(budget {MAX_OVERHEAD_RATIO:.1f}x)"
         )
     for line in failures:

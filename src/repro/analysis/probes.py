@@ -10,6 +10,7 @@ misroutes show up spatially.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -30,17 +31,31 @@ class TimeSeriesProbe:
         probe.add_builtin_afc_metrics()
         probe.run(5_000, tick=traffic.tick)
         probe.series["backpressured_fraction"]
+
+    With ``jsonl_path`` set, every sample is additionally appended to
+    that file as one JSON line and flushed immediately, so a run that
+    is killed mid-flight still leaves every *completed* sample on disk
+    with no torn records (the reader, :func:`load_probe_jsonl`, drops
+    at most a truncated final line — the same torn-tail tolerance the
+    service store applies to its checkpoints).
     """
 
-    def __init__(self, network: Network, every: int = 100) -> None:
+    def __init__(
+        self,
+        network: Network,
+        every: int = 100,
+        jsonl_path: Optional[str] = None,
+    ) -> None:
         if every <= 0:
             raise ValueError("sampling interval must be positive")
         self.network = network
         self.every = every
+        self.jsonl_path = jsonl_path
         self.cycles: List[int] = []
         self.series: Dict[str, List[float]] = {}
         self._metrics: Dict[str, Callable[[Network], float]] = {}
         self._last_sample = network.cycle - every  # sample immediately
+        self._jsonl_file = None
 
     def add(self, name: str, metric: Callable[[Network], float]) -> None:
         if name in self._metrics:
@@ -88,6 +103,18 @@ class TimeSeriesProbe:
     def detach(self) -> None:
         if self.network.post_step_hook == self._on_cycle:
             self.network.post_step_hook = None
+        self.close()
+
+    def close(self) -> None:
+        """Flush and close the JSONL stream (idempotent).  Called by
+        :meth:`detach`, so materialization or an interrupt that unwinds
+        through the harness never leaves a buffered partial record."""
+        if self._jsonl_file is not None:
+            try:
+                self._jsonl_file.close()
+            except OSError:
+                pass
+            self._jsonl_file = None
 
     def _on_cycle(self, cycle: int) -> None:
         self.maybe_sample()
@@ -117,7 +144,34 @@ class TimeSeriesProbe:
         self.cycles.append(self.network.cycle)
         for name, metric in self._metrics.items():
             self.series[name].append(metric(self.network))
+        if self.jsonl_path is not None:
+            self._write_jsonl_row()
         return True
+
+    def _write_jsonl_row(self) -> None:
+        """Append the just-taken sample as one complete, flushed JSON
+        line (best-effort: a full disk must not kill the run)."""
+        try:
+            if self._jsonl_file is None:
+                self._jsonl_file = open(
+                    self.jsonl_path, "w", encoding="utf-8"
+                )
+            row = {
+                "cycle": self.cycles[-1],
+                "values": {
+                    name: vals[-1]
+                    for name, vals in self.series.items()
+                },
+            }
+            self._jsonl_file.write(
+                json.dumps(row, separators=(",", ":")) + "\n"
+            )
+            self._jsonl_file.flush()
+        except (OSError, ValueError):
+            # Stop streaming for the rest of the run — a "w" reopen
+            # would truncate the rows already on disk.
+            self.close()
+            self.jsonl_path = None
 
     def run(
         self,
@@ -135,6 +189,26 @@ class TimeSeriesProbe:
 
     def __len__(self) -> int:
         return len(self.cycles)
+
+
+def load_probe_jsonl(path) -> dict:
+    """Reassemble a probe JSONL stream into ``{"cycles", "series"}``.
+
+    Tolerates a torn final line (killed run) by dropping it; rows with
+    a metric the first row lacked are ignored for that metric (cannot
+    happen from one probe, defensive for hand-edited files)."""
+    cycles: List[int] = []
+    series: Dict[str, List[float]] = {}
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            cycles.append(int(row["cycle"]))
+            for name, value in (row.get("values") or {}).items():
+                series.setdefault(name, []).append(value)
+    return {"cycles": cycles, "series": series}
 
 
 @dataclass(frozen=True)

@@ -305,8 +305,15 @@ DEFAULT_NETWORK_PATH_MARKERS: Tuple[str, ...] = (
     "simulation.py",
 )
 
-#: Path fragments that put a file in the ``service`` scope.
-DEFAULT_SERVICE_PATH_MARKERS: Tuple[str, ...] = ("/service/",)
+#: Path fragments that put a file in the ``service`` scope.  The
+#: telemetry/dashboard modules live under ``obs/`` but carry the
+#: service's thread/fork/asyncio structure (the worker→service metrics
+#: relay), so the async/fork-safety passes cover them too.
+DEFAULT_SERVICE_PATH_MARKERS: Tuple[str, ...] = (
+    "/service/",
+    "/obs/telemetry",
+    "/obs/dashboard",
+)
 
 #: Path fragments that put a file in the ``engine`` scope.
 DEFAULT_ENGINE_PATH_MARKERS: Tuple[str, ...] = ("/engine/",)

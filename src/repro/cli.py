@@ -226,6 +226,7 @@ def _obs_options(args: argparse.Namespace) -> Optional[ObservabilityOptions]:
         metrics=getattr(args, "metrics", False),
         profile=getattr(args, "profile_sim", False),
         probe_every=getattr(args, "probe_every", 0) or 0,
+        probe_jsonl=getattr(args, "probe_jsonl", None) or "",
     )
     return opts if opts.enabled else None
 
@@ -688,7 +689,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         seed_timeout=args.seed_timeout,
         heartbeat_timeout=args.heartbeat_timeout,
         retries=args.retries,
+        live_interval=args.live_interval,
     )
+
+    def _write_telemetry() -> None:
+        if args.telemetry_out is None:
+            return
+        service.telemetry.write_chrome_trace(args.telemetry_out)
+        print(
+            f"telemetry: wrote {args.telemetry_out} "
+            f"({len(service.telemetry)} events)",
+            file=sys.stderr,
+        )
+
     if args.drain is not None:
         specs, priorities = [], []
         for entry in _load_spec_entries(args.drain):
@@ -699,7 +712,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 specs.append(JobSpec.from_dict(entry))
                 priorities.append(0)
         results, counters = asyncio.run(drain(service, specs, priorities))
-        _emit_json({"results": results, "counters": counters})
+        _write_telemetry()
+        _emit_json(
+            {
+                "results": results,
+                "counters": counters,
+                "telemetry_summary": service.telemetry.summary(),
+            }
+        )
         failed = [r for r in results if "result" not in r]
         return 1 if failed else 0
 
@@ -724,6 +744,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(_serve())
     except KeyboardInterrupt:
         pass
+    _write_telemetry()
     return 0
 
 
@@ -827,6 +848,97 @@ def _cmd_queue(args: argparse.Namespace) -> int:
         return out, 0
 
     return _client_call(args, call)
+
+
+def _watch_line(snapshot: dict) -> str:
+    """One human-readable line per watch frame."""
+    status = snapshot.get("status", {})
+    progress = status.get("progress", {})
+    gauges = snapshot.get("gauges", {})
+    parts = [
+        f"t={snapshot.get('t', 0):.1f}s",
+        f"state={status.get('state', '?')}",
+        f"seeds={progress.get('done', '?')}/{progress.get('total', '?')}",
+    ]
+    for name, label in (
+        ("p50_packet_latency", "p50"),
+        ("p95_packet_latency", "p95"),
+        ("p99_packet_latency", "p99"),
+    ):
+        value = status.get(name)
+        if isinstance(value, (int, float)):
+            parts.append(f"{label}={value:.1f}")
+    live = snapshot.get("live") or {}
+    for index, seed in sorted(live.items()):
+        parts.append(f"seed{index}@cycle={seed.get('cycle', '?')}")
+    parts.append(f"queue={gauges.get('queue_depth', '?')}")
+    return "  ".join(parts)
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    """Stream live snapshots of one job from a running serve."""
+    from .service import ServiceError
+
+    try:
+        with _client(args) as client:
+            last = None
+            for frame in client.watch(
+                args.key,
+                interval=args.interval,
+                max_snapshots=args.max_snapshots,
+            ):
+                snapshot = frame.get("snapshot")
+                if snapshot is None:
+                    continue
+                last = snapshot
+                if args.json:
+                    # One line per frame (the help's contract): a
+                    # stream must stay line-processable.
+                    print(
+                        json.dumps(snapshot, separators=(",", ":")),
+                        flush=True,
+                    )
+                else:
+                    print(_watch_line(snapshot), flush=True)
+    except ServiceError as exc:
+        print(f"service error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"cannot reach the service: {exc}", file=sys.stderr)
+        return 1
+    if last is None:
+        return 1
+    return 0 if last.get("status", {}).get("state") == "done" else 1
+
+
+def _cmd_dash(args: argparse.Namespace) -> int:
+    """Generate the self-contained HTML dashboard."""
+    from .obs.dashboard import build_dashboard
+
+    counters = None
+    telemetry_summary = None
+    if args.drain_json is not None:
+        drain_out = json.loads(Path(args.drain_json).read_text())
+        counters = drain_out.get("counters")
+        telemetry_summary = drain_out.get("telemetry_summary")
+    regression = None
+    if args.regression_json is not None:
+        regression = json.loads(Path(args.regression_json).read_text())
+    html_text = build_dashboard(
+        store_path=args.store,
+        bench_dir=args.bench_dir,
+        counters=counters,
+        telemetry_summary=telemetry_summary,
+        regression=regression,
+        title=args.title,
+    )
+    out = Path(args.out)
+    out.write_text(html_text, encoding="utf-8")
+    print(
+        f"dash: wrote {out} ({len(html_text)} bytes, self-contained)",
+        file=sys.stderr,
+    )
+    return 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -978,6 +1090,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--probe-out",
         default="probe.json",
         help="output path for the --probe-every series (JSON)",
+    )
+    run.add_argument(
+        "--probe-jsonl",
+        default=None,
+        metavar="FILE",
+        help=(
+            "also stream each probe sample to FILE as one flushed "
+            "JSON line the moment it is taken, so an interrupted run "
+            "keeps every completed sample (no torn records)"
+        ),
     )
     _add_obs_flags(run)
     _add_cache_flags(run)
@@ -1301,7 +1423,104 @@ def build_parser() -> argparse.ArgumentParser:
             "completion, print the records as JSON, and exit"
         ),
     )
+    serve.add_argument(
+        "--live-interval",
+        type=float,
+        default=0.5,
+        help=(
+            "seconds between worker live-progress snapshots (feeds "
+            "repro watch; 0 disables the relay)"
+        ),
+    )
+    serve.add_argument(
+        "--telemetry-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "on exit, write the job-lifecycle telemetry as Chrome "
+            "trace-event JSON (open in Perfetto next to flit traces)"
+        ),
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    watch = sub.add_parser(
+        "watch",
+        help=(
+            "stream live progress of one job from a running repro "
+            "serve (seed progress, latency percentiles, queue gauges)"
+        ),
+    )
+    _add_client_flags(watch)
+    watch.add_argument("--key", required=True, help="job key (sha256)")
+    watch.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="seconds between snapshots",
+    )
+    watch.add_argument(
+        "--max-snapshots",
+        type=_positive_int,
+        default=None,
+        help="stop after N snapshots even if the job is still running",
+    )
+    watch.add_argument(
+        "--json",
+        action="store_true",
+        help="print each snapshot as one JSON line instead of text",
+    )
+    watch.set_defaults(func=_cmd_watch)
+
+    dash = sub.add_parser(
+        "dash",
+        help=(
+            "generate a self-contained HTML dashboard (no external "
+            "assets) from the result store and benchmark archives"
+        ),
+    )
+    dash.add_argument(
+        "--store",
+        default="~/.repro/store",
+        metavar="PATH",
+        help="result store directory to render jobs + series from",
+    )
+    dash.add_argument(
+        "--bench-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "benchmarks/results directory holding BENCH_*.json and "
+            "mode_duty_cycle.txt (omit to skip the benchmark panels)"
+        ),
+    )
+    dash.add_argument(
+        "--drain-json",
+        default=None,
+        metavar="FILE",
+        help=(
+            "a 'repro serve --drain' output JSON; its counters and "
+            "telemetry summary become the service panel"
+        ),
+    )
+    dash.add_argument(
+        "--regression-json",
+        default=None,
+        metavar="FILE",
+        help=(
+            "a 'check_bench_regression.py --json' report; its verdict "
+            "is inlined as the pass/fail banner"
+        ),
+    )
+    dash.add_argument(
+        "--out",
+        default="dashboard.html",
+        metavar="FILE",
+        help="output HTML path",
+    )
+    dash.add_argument(
+        "--title", default="repro dashboard", help="page title"
+    )
+    dash.set_defaults(func=_cmd_dash)
 
     submit = sub.add_parser(
         "submit", help="submit one job to a running repro serve"

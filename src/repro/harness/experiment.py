@@ -42,6 +42,7 @@ from ..network.config import (
 from ..network.flit import reset_packet_ids
 from ..obs.hub import Observability, ObservabilityOptions
 from ..obs.metrics import MetricsRegistry
+from ..obs.telemetry import clear_run, publish_run
 from ..simulation import Network
 from ..traffic.patterns import TrafficPattern
 from ..traffic.synthetic import OpenLoopSource, PacketMix
@@ -201,6 +202,9 @@ def _run_closed_loop_seed(job: _ClosedLoopJob) -> _ClosedLoopSample:
         net, job.workload, machine=job.machine, seed=1000 + job.seed
     )
     observer = _make_observer(net, job.obs)
+    # One attribute rebind per run: lets a LiveSeedPublisher thread in
+    # a service worker stream progress; invisible to the simulation.
+    publish_run(net, observer.registry if observer is not None else None)
     try:
         with _maybe_sanitize(net, job.sanitize):
             system.run(job.warmup_cycles)
@@ -209,6 +213,7 @@ def _run_closed_loop_seed(job: _ClosedLoopJob) -> _ClosedLoopSample:
     finally:
         if observer is not None:
             observer.detach()
+        clear_run()
     txns = max(1, system.transactions_completed)
     energy = net.measured_energy()
     stats = net.stats
@@ -289,6 +294,7 @@ def _run_open_loop_seed(job: _OpenLoopJob) -> _OpenLoopSample:
         source_queue_limit=job.source_queue_limit,
     )
     observer = _make_observer(net, job.obs)
+    publish_run(net, observer.registry if observer is not None else None)
     try:
         with _maybe_sanitize(net, job.sanitize):
             source.run(job.warmup_cycles)
@@ -297,6 +303,7 @@ def _run_open_loop_seed(job: _OpenLoopJob) -> _OpenLoopSample:
     finally:
         if observer is not None:
             observer.detach()
+        clear_run()
     stats = net.stats
     energy = net.measured_energy()
     flits = max(1, stats.flits_ejected)
@@ -382,8 +389,12 @@ def _run_fault_seed(job: _FaultJob) -> _FaultSample:
     source = OpenLoopSource(
         net, job.rate, seed=2000 + job.seed, source_queue_limit=2_000
     )
-    source.run(job.warmup_cycles + job.measure_cycles)
-    drained = injector.drain(max_cycles=job.drain_max_cycles)
+    publish_run(net)
+    try:
+        source.run(job.warmup_cycles + job.measure_cycles)
+        drained = injector.drain(max_cycles=job.drain_max_cycles)
+    finally:
+        clear_run()
     stats = net.stats
     return _FaultSample(
         delivered_packet_rate=stats.delivered_despite_fault_rate,

@@ -12,6 +12,11 @@ docs/OBSERVABILITY.md):
 * :class:`PipelineProfiler` — wall-clock self time of router pipeline
   stages and engine phases per cycle bucket.
 
+The service telemetry plane also lives here: :class:`TelemetryLog`
+(job-lifecycle spans with Chrome trace export), the worker live relay
+(:class:`LiveSeedPublisher` / :func:`publish_run`), and the
+``repro dash`` generator (:func:`build_dashboard`).
+
 When no :class:`Observability` hub is attached, every hook in the
 simulator stays ``None`` and results are bit-identical to an
 un-instrumented run (pinned by tests, like the sanitizer hooks).
@@ -35,10 +40,15 @@ __all__ = [
     "Gauge",
     "Histogram",
     "LATENCY_BUCKETS",
+    "LiveSeedPublisher",
     "MetricsRegistry",
     "Observability",
     "ObservabilityOptions",
     "PipelineProfiler",
+    "TelemetryLog",
+    "build_dashboard",
+    "publish_run",
+    "clear_run",
 ]
 
 _LAZY = {
@@ -46,6 +56,11 @@ _LAZY = {
     "Observability": "hub",
     "ObservabilityOptions": "hub",
     "PipelineProfiler": "profiler",
+    "TelemetryLog": "telemetry",
+    "LiveSeedPublisher": "telemetry",
+    "publish_run": "telemetry",
+    "clear_run": "telemetry",
+    "build_dashboard": "dashboard",
 }
 
 

@@ -61,6 +61,10 @@ class ObservabilityOptions:
     #: Sampling interval of the attached
     #: :class:`~repro.analysis.probes.TimeSeriesProbe`; 0 disables it.
     probe_every: int = 0
+    #: Stream probe samples to this JSONL file as they are taken (one
+    #: flushed line per sample; "" disables).  Only meaningful with
+    #: ``probe_every > 0``.
+    probe_jsonl: str = ""
 
     @property
     def enabled(self) -> bool:
@@ -83,6 +87,7 @@ class Observability:
         profile: Optional[bool] = None,
         profile_bucket: Optional[int] = None,
         probe_every: Optional[int] = None,
+        probe_jsonl: Optional[str] = None,
         registry: Optional[MetricsRegistry] = None,
     ) -> None:
         opts = options or ObservabilityOptions()
@@ -95,6 +100,7 @@ class Observability:
                 ("profile", profile),
                 ("profile_bucket", profile_bucket),
                 ("probe_every", probe_every),
+                ("probe_jsonl", probe_jsonl),
             )
             if value is not None
         }
@@ -118,7 +124,11 @@ class Observability:
             # the metrics-only path must not depend on.
             from ..analysis.probes import TimeSeriesProbe
 
-            self.probe = TimeSeriesProbe(net, every=opts.probe_every)
+            self.probe = TimeSeriesProbe(
+                net,
+                every=opts.probe_every,
+                jsonl_path=opts.probe_jsonl or None,
+            )
             self.probe.add("throughput", lambda n: n.stats.throughput)
             self.probe.add(
                 "avg_packet_latency", lambda n: n.stats.avg_packet_latency

@@ -12,7 +12,7 @@ from __future__ import annotations
 import json
 import socket
 from pathlib import Path
-from typing import Optional
+from typing import Iterator, Optional
 
 __all__ = ["ServiceClient", "ServiceError"]
 
@@ -111,6 +111,78 @@ class ServiceClient:
 
     def queue(self) -> dict:
         return self.request({"op": "queue"})
+
+    # -- streaming verbs -------------------------------------------------
+    def _stream(self, payload: dict, slack: float) -> Iterator[dict]:
+        """Send one streaming request; yield each response frame until
+        the server marks the stream done."""
+        self._sock.settimeout(None if slack <= 0 else slack)
+        try:
+            self._file.write(
+                json.dumps(payload, separators=(",", ":")).encode()
+                + b"\n"
+            )
+            self._file.flush()
+            while True:
+                line = self._file.readline()
+                if not line:
+                    raise ServiceError("server closed the stream")
+                frame = json.loads(line)
+                if not frame.get("ok"):
+                    raise ServiceError(
+                        frame.get("error", "unknown error")
+                    )
+                frame.pop("ok", None)
+                done = bool(frame.get("done"))
+                yield frame
+                if done:
+                    return
+        finally:
+            self._sock.settimeout(60.0)
+
+    def watch(
+        self,
+        key: str,
+        interval: float = 1.0,
+        max_snapshots: Optional[int] = None,
+    ) -> Iterator[dict]:
+        """Frames of ``{"snapshot": ..., "done": ...}`` for one job,
+        every ``interval`` seconds until it reaches a terminal state
+        (or ``max_snapshots`` frames, the last marked truncated)."""
+        return self._stream(
+            {
+                "op": "watch",
+                "key": key,
+                "interval": interval,
+                "max_snapshots": max_snapshots,
+            },
+            slack=max(60.0, interval * 3.0),
+        )
+
+    def events(
+        self,
+        since: int = 0,
+        follow: bool = False,
+        max_events: Optional[int] = None,
+    ) -> object:
+        """Telemetry events past ``since``.
+
+        Non-follow: one dict ``{"events": [...], "last_seq": n}``.
+        Follow: an iterator of ``{"event": ...}`` frames, live, ending
+        after ``max_events`` (unbounded when None)."""
+        if not follow:
+            return self.request(
+                {"op": "events", "since": since, "follow": False}
+            )
+        return self._stream(
+            {
+                "op": "events",
+                "since": since,
+                "follow": True,
+                "max_events": max_events,
+            },
+            slack=0.0,  # live tails idle indefinitely between events
+        )
 
     def shutdown(self) -> dict:
         return self.request({"op": "shutdown"})

@@ -9,12 +9,24 @@ line.  Requests name an ``op``::
     {"op": "status", "key": "<sha256>"}
     {"op": "result", "key": "<sha256>", "wait": true, "timeout": 30}
     {"op": "queue"}
+    {"op": "watch", "key": "<sha256>", "interval": 1.0,
+     "max_snapshots": 10}
+    {"op": "events", "since": 0, "follow": true, "max_events": 100}
     {"op": "shutdown"}
 
 Responses always carry ``"ok": true`` plus op-specific fields, or
 ``"ok": false`` with ``"error"``.  A malformed line gets an error
 response; the connection stays open (a client bug should not drop its
 neighbours' in-flight waits).
+
+``watch`` and ``events`` are the two *streaming* verbs: instead of one
+response line they emit a line per snapshot/event on the same
+connection.  A watch stream ends with a frame carrying ``"done":
+true`` (job reached a terminal state, or ``max_snapshots`` hit, marked
+``"truncated": true``); a follow-mode events stream ends when
+``max_events`` is reached or the client hangs up.  After a stream
+finishes the connection is back in request/response mode — clients may
+pipeline another op on the same socket.
 
 The server listens on a unix socket (default) or localhost TCP
 (``host``/``port``; port 0 picks an ephemeral port — how the tests and
@@ -113,6 +125,19 @@ class ServiceServer:
                 if len(line) > MAX_LINE:
                     response = {"ok": False, "error": "request too large"}
                 else:
+                    request = self._parse(line)
+                    if (
+                        isinstance(request, dict)
+                        and request.get("op") in ("watch", "events")
+                    ):
+                        try:
+                            await self._stream(request, writer)
+                        except (
+                            ConnectionResetError,
+                            BrokenPipeError,
+                        ):
+                            break
+                        continue
                     response = await self._dispatch(line)
                 writer.write(
                     json.dumps(response, separators=(",", ":")).encode()
@@ -130,6 +155,121 @@ class ServiceServer:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
+
+    @staticmethod
+    def _parse(line: bytes):
+        """The decoded request, or None (malformed lines fall through
+        to :meth:`_dispatch` for the error response)."""
+        try:
+            return json.loads(line)
+        except ValueError:
+            return None
+
+    @staticmethod
+    async def _send(writer, payload: dict) -> None:
+        writer.write(
+            json.dumps(payload, separators=(",", ":")).encode() + b"\n"
+        )
+        await writer.drain()
+
+    async def _stream(self, request: dict, writer) -> None:
+        """Run one streaming verb; leaves the connection reusable."""
+        try:
+            if request["op"] == "watch":
+                await self._stream_watch(request, writer)
+            else:
+                await self._stream_events(request, writer)
+        except (ConnectionResetError, BrokenPipeError):
+            raise
+        except Exception as exc:
+            await self._send(
+                writer,
+                {
+                    "ok": False,
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "done": True,
+                },
+            )
+
+    async def _stream_watch(self, request: dict, writer) -> None:
+        """Push periodic :meth:`ExperimentService.watch_snapshot`
+        frames for one job until it reaches a terminal state."""
+        key = request["key"]
+        interval = max(0.05, float(request.get("interval", 1.0)))
+        max_snapshots = request.get("max_snapshots")
+        count = 0
+        while True:
+            snapshot = self.service.watch_snapshot(key)
+            state = snapshot["status"].get("state")
+            terminal = state in ("done", "failed", "unknown")
+            count += 1
+            truncated = (
+                not terminal
+                and max_snapshots is not None
+                and count >= int(max_snapshots)
+            )
+            frame = {
+                "ok": True,
+                "snapshot": snapshot,
+                "done": terminal or truncated,
+            }
+            if truncated:
+                frame["truncated"] = True
+            await self._send(writer, frame)
+            if frame["done"]:
+                return
+            await asyncio.sleep(interval)
+
+    async def _stream_events(self, request: dict, writer) -> None:
+        """Replay telemetry events past ``since``; with ``follow``,
+        keep pushing live events as the service records them."""
+        telemetry = self.service.telemetry
+        since = int(request.get("since", 0))
+        follow = bool(request.get("follow", False))
+        max_events = request.get("max_events")
+        if not follow:
+            backlog = telemetry.events(since)
+            await self._send(
+                writer,
+                {
+                    "ok": True,
+                    "events": backlog,
+                    "last_seq": backlog[-1]["seq"] if backlog else since,
+                    "done": True,
+                },
+            )
+            return
+        # Subscribe before reading the backlog so no event can fall in
+        # the gap; the seq check below drops the overlap.
+        queue = telemetry.subscribe()
+        try:
+            last_seq = since
+            sent = 0
+
+            async def push(event: dict) -> bool:
+                nonlocal last_seq, sent
+                last_seq = event["seq"]
+                sent += 1
+                finished = (
+                    max_events is not None and sent >= int(max_events)
+                )
+                await self._send(
+                    writer,
+                    {"ok": True, "event": event, "done": finished},
+                )
+                return finished
+
+            for event in telemetry.events(since):
+                if await push(event):
+                    return
+            while True:
+                event = await queue.get()
+                if event["seq"] <= last_seq:
+                    continue
+                if await push(event):
+                    return
+        finally:
+            telemetry.unsubscribe(queue)
 
     async def _dispatch(self, line: bytes) -> dict:
         try:

@@ -36,12 +36,47 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from ..obs.telemetry import TelemetryLog
 from .jobs import JobSpec
 from .serialize import result_to_dict, sample_from_dict
 from .store import ResultStore
 from .workers import SeedOutcome, run_seed_unit
 
 __all__ = ["ExperimentService", "JobState"]
+
+#: Result/sample fields surfaced by ``repro status`` / ``watch`` (the
+#: always-on latency percentiles satellite).
+_PCTL_FIELDS = (
+    "p50_packet_latency",
+    "p95_packet_latency",
+    "p99_packet_latency",
+)
+
+
+def _percentiles_of(row: dict) -> dict:
+    """The percentile fields present in one sample/result dict."""
+    return {
+        name: row[name]
+        for name in _PCTL_FIELDS
+        if isinstance(row.get(name), (int, float))
+    }
+
+
+def _mean_percentiles(rows: List[dict]) -> dict:
+    """Seed-mean of each percentile field over the rows carrying it —
+    the same per-field mean the ``aggregate_*`` functions take over
+    finished samples (fault samples carry no percentiles and simply
+    drop out)."""
+    out = {}
+    for name in _PCTL_FIELDS:
+        values = [
+            row[name]
+            for row in rows
+            if isinstance(row.get(name), (int, float))
+        ]
+        if values:
+            out[name] = sum(values) / len(values)
+    return out
 
 
 @dataclass
@@ -72,6 +107,10 @@ class JobState:
             "priority": self.priority,
             "total_seeds": self.total_seeds,
             "completed_seeds": self.completed_seeds,
+            "progress": {
+                "done": self.completed_seeds,
+                "total": self.total_seeds,
+            },
             "workers": dict(self.workers),
             "submissions": self.submissions,
             "error": self.error,
@@ -92,6 +131,8 @@ class ExperimentService:
         heartbeat_timeout: float = 30.0,
         retries: int = 2,
         on_worker_spawn: Optional[Callable[[int, int], None]] = None,
+        telemetry: Optional[TelemetryLog] = None,
+        live_interval: float = 0.5,
     ) -> None:
         self.store = store
         self.jobs = max(1, jobs)
@@ -102,6 +143,11 @@ class ExperimentService:
         self.retries = retries
         #: Test hook: observes every (pid, attempt) worker spawn.
         self.on_worker_spawn = on_worker_spawn
+        #: Lifecycle event log — always on (events are tiny dicts, far
+        #: off the simulation hot path); injectable for clock control.
+        self.telemetry = telemetry if telemetry is not None else TelemetryLog()
+        #: Seconds between worker live snapshots; <= 0 disables the relay.
+        self.live_interval = live_interval
         self._heap: List = []  # (-priority, seq, key)
         self._states: Dict[str, JobState] = {}
         self._seq = 0
@@ -148,17 +194,27 @@ class ExperimentService:
         record = self.store.get(key)
         if record is not None:
             self.counters["cache_hits"] += 1
+            self.telemetry.record(
+                "submitted", key=key, job_kind=spec.kind, outcome="cached"
+            )
             return {"key": key, "status": "cached"}
         state = self._states.get(key)
         if state is not None and state.state in ("queued", "running"):
             state.submissions += 1
             self.counters["deduped"] += 1
+            self.telemetry.record(
+                "submitted", key=key, job_kind=spec.kind, outcome="deduped"
+            )
             return {"key": key, "status": state.state, "deduped": True}
         queued = sum(
             1 for s in self._states.values() if s.state == "queued"
         )
         if queued >= self.queue_limit:
             self.counters["shed"] += 1
+            self.telemetry.record(
+                "submitted", key=key, job_kind=spec.kind, outcome="shed"
+            )
+            self.telemetry.record("shed", key=key, queued=queued)
             return {
                 "key": key,
                 "status": "shed",
@@ -175,16 +231,31 @@ class ExperimentService:
         )
         self._states[key] = state
         heapq.heappush(self._heap, (-priority, self._seq, key))
+        self.telemetry.record(
+            "submitted",
+            key=key,
+            job_kind=spec.kind,
+            priority=priority,
+            outcome="queued",
+        )
+        self.telemetry.record(
+            "queued", key=key, priority=priority, depth=queued + 1
+        )
         if self._wakeup is not None:
             self._wakeup.set()
         return {"key": key, "status": "queued"}
 
     # -- queries ---------------------------------------------------------
     def status(self, key: str) -> dict:
-        """State of a job, live or from the store."""
+        """State of a job, live or from the store.
+
+        Always carries ``progress`` (done/total seeds) and — as soon as
+        any seed has reported anything — the p50/p95/p99 packet-latency
+        fields, live or finished alike."""
         state = self._states.get(key)
         if state is not None:
             out = state.snapshot()
+            out.update(self._partial_stats(state))
             if state.spec.metrics and state.state == "running":
                 metrics = self._partial_metrics(state)
                 if metrics is not None:
@@ -192,8 +263,30 @@ class ExperimentService:
             return out
         record = self.store.get(key)
         if record is not None:
-            return {"key": key, "state": "done", "cached": True}
+            result = record.get("result") or {}
+            seeds = (record.get("spec") or {}).get("seeds")
+            out = {"key": key, "state": "done", "cached": True}
+            if isinstance(seeds, int):
+                out["progress"] = {"done": seeds, "total": seeds}
+            out.update(_percentiles_of(result))
+            return out
         return {"key": key, "state": "unknown"}
+
+    def _partial_stats(self, state: JobState) -> dict:
+        """Latency percentiles of a job in flight: seed-mean over the
+        checkpointed samples plus the live snapshots of seeds still
+        running (exactly the figures the finished aggregate reports,
+        computed over what exists so far)."""
+        if state.state == "done" and state.record is not None:
+            return _percentiles_of(state.record.get("result") or {})
+        partials = self.store.partial_seeds(state.key)
+        rows = [partials[index] for index in sorted(partials)]
+        for index, snap in sorted(
+            self.store.live_seeds(state.key).items()
+        ):
+            if index not in partials:
+                rows.append(snap)
+        return _mean_percentiles(rows)
 
     def _partial_metrics(self, state: JobState) -> Optional[dict]:
         """Merged metrics of the seeds checkpointed so far — the
@@ -208,20 +301,100 @@ class ExperimentService:
         merged = _merge_observability(payloads)
         return None if merged is None else merged.get("metrics")
 
+    def gauges(self) -> dict:
+        """The service's point-in-time load gauges (for ``watch`` and
+        the queue snapshot)."""
+        return {
+            "queue_depth": sum(
+                1 for s in self._states.values() if s.state == "queued"
+            ),
+            "running": sum(
+                1 for s in self._states.values() if s.state == "running"
+            ),
+            "shed_total": self.counters["shed"],
+            "retries_total": self.counters["worker_crashes"],
+            "store_results": len(self.store),
+        }
+
     def queue_snapshot(self) -> dict:
         states = sorted(
             self._states.values(), key=lambda s: (-s.priority, s.seq)
         )
+
+        def enriched(s: JobState) -> dict:
+            snap = s.snapshot()
+            snap.update(self._partial_stats(s))
+            return snap
+
         return {
             "queued": [
                 s.snapshot() for s in states if s.state == "queued"
             ],
             "running": [
-                s.snapshot() for s in states if s.state == "running"
+                enriched(s) for s in states if s.state == "running"
             ],
             "counters": dict(self.counters),
+            "gauges": self.gauges(),
             "store_results": len(self.store),
         }
+
+    def watch_snapshot(self, key: str) -> dict:
+        """One frame of the ``repro watch`` stream for a job.
+
+        Combines the job's status (progress + percentiles), the
+        service gauges, the per-seed live relay snapshots, and — when
+        the job records metrics — the merged registry built from
+        checkpointed seeds first and live seeds after, in seed order:
+        the exact ``merge`` semantics the finished aggregate uses, so
+        the stream converges on the stored result."""
+        status = self.status(key)
+        out = {
+            "key": key,
+            "t": round(self.telemetry.now(), 6),
+            "status": status,
+            "gauges": self.gauges(),
+        }
+        state = self._states.get(key)
+        if state is not None and state.state in ("queued", "running"):
+            live = self.store.live_seeds(key)
+            out["live"] = {
+                str(index): {
+                    name: value
+                    for name, value in snap.items()
+                    if name != "metrics"
+                }
+                for index, snap in sorted(live.items())
+            }
+            if state.spec.metrics:
+                merged = self._merged_live_metrics(state, live)
+                if merged is not None:
+                    out["metrics"] = merged
+        return out
+
+    def _merged_live_metrics(
+        self, state: JobState, live: Dict[int, dict]
+    ) -> Optional[dict]:
+        """Checkpointed registries merged in seed order, then live
+        registries of not-yet-checkpointed seeds in seed order."""
+        from ..obs.metrics import MetricsRegistry
+
+        partials = self.store.partial_seeds(state.key)
+        payloads = []
+        for index in sorted(partials):
+            obs = partials[index].get("observability") or {}
+            if obs.get("metrics") is not None:
+                payloads.append(obs["metrics"])
+        for index in sorted(live):
+            if index in partials:
+                continue
+            if live[index].get("metrics") is not None:
+                payloads.append(live[index]["metrics"])
+        if not payloads:
+            return None
+        merged = MetricsRegistry.from_dict(payloads[0])
+        for payload in payloads[1:]:
+            merged.merge(MetricsRegistry.from_dict(payload))
+        return merged.to_dict()
 
     async def result(
         self, key: str, wait: bool = False, timeout: Optional[float] = None
@@ -269,6 +442,15 @@ class ExperimentService:
             recovered = [i for i in sorted(done) if i < spec.seeds]
             self.counters["seeds_recovered"] += len(recovered)
             state.completed_seeds = len(recovered)
+            self.telemetry.record(
+                "dispatched",
+                key=state.key,
+                seeds=spec.seeds,
+                recovered=len(recovered),
+            )
+            self._record_series(
+                state, "dispatched", recovered=len(recovered)
+            )
             remaining = [
                 i for i in range(spec.seeds) if i not in done
             ]
@@ -293,6 +475,14 @@ class ExperimentService:
             state.record = record
             state.state = "done"
             self.counters["jobs_completed"] += 1
+            self.telemetry.record(
+                "completed", key=state.key, seeds=spec.seeds
+            )
+            self._record_series(
+                state,
+                "completed",
+                **_percentiles_of(record.get("result") or {}),
+            )
         except BaseException as exc:
             state.state = "failed"
             if isinstance(exc, BaseExceptionGroup):
@@ -303,9 +493,14 @@ class ExperimentService:
             else:
                 state.error = f"{type(exc).__name__}: {exc}"
             self.counters["jobs_failed"] += 1
+            self.telemetry.record(
+                "failed", key=state.key, error=state.error
+            )
+            self._record_series(state, "failed", error=state.error)
             if isinstance(exc, asyncio.CancelledError):
                 raise
         finally:
+            self.store.clear_live(state.key)
             self._active -= 1
             if self._wakeup is not None:
                 self._wakeup.set()
@@ -315,18 +510,67 @@ class ExperimentService:
             state.waiters.clear()
             state.workers.clear()
 
+    def _record_series(
+        self, state: JobState, event: str, **fields
+    ) -> None:
+        """Append one durable progress row for the job (best-effort:
+        a full disk must not fail the job itself)."""
+        row = {
+            "event": event,
+            "t": round(self.telemetry.now(), 6),
+            "done": state.completed_seeds,
+            "total": state.total_seeds,
+            "queue_depth": sum(
+                1 for s in self._states.values() if s.state == "queued"
+            ),
+            **fields,
+        }
+        try:
+            self.store.append_series(state.key, row)
+        except OSError:
+            pass
+
     async def _run_seed_unit(self, state: JobState, index: int) -> None:
         assert self._slots is not None
         async with self._slots:
-
+            # Both callbacks fire on the supervising worker thread —
+            # TelemetryLog.record is thread-safe by contract.
             def on_spawn(pid: int, attempt: int) -> None:
                 if attempt > 1:
                     self.counters["worker_crashes"] += 1
+                    self.telemetry.record(
+                        "retry",
+                        key=state.key,
+                        index=index,
+                        attempt=attempt,
+                        pid=pid,
+                    )
                 state.workers[index] = pid
+                self.telemetry.record(
+                    "seed-started",
+                    key=state.key,
+                    index=index,
+                    attempt=attempt,
+                    pid=pid,
+                )
                 if self.on_worker_spawn is not None:
                     self.on_worker_spawn(pid, attempt)
 
+            def on_beat(pid: int, age: float) -> None:
+                self.telemetry.record(
+                    "heartbeat",
+                    key=state.key,
+                    index=index,
+                    pid=pid,
+                    age=round(age, 3),
+                )
+
             self.counters["seed_units_run"] += 1
+            live_path = (
+                self.store.live_path(state.key, index)
+                if self.live_interval > 0
+                else None
+            )
             outcome: SeedOutcome = await asyncio.to_thread(
                 run_seed_unit,
                 state.spec.to_dict(),
@@ -335,9 +579,19 @@ class ExperimentService:
                 heartbeat_timeout=self.heartbeat_timeout,
                 retries=self.retries,
                 on_spawn=on_spawn,
+                on_beat=on_beat,
+                live_path=live_path,
+                live_interval=self.live_interval,
             )
             state.workers.pop(index, None)
             if not outcome.ok:
+                self.telemetry.record(
+                    "seed-finished",
+                    key=state.key,
+                    index=index,
+                    status=outcome.status,
+                    attempts=outcome.attempts,
+                )
                 raise RuntimeError(
                     f"seed {state.spec.seed_of(index)} "
                     f"{outcome.status} after {outcome.attempts} "
@@ -346,3 +600,17 @@ class ExperimentService:
             assert outcome.sample is not None
             self.store.checkpoint_seed(state.key, index, outcome.sample)
             state.completed_seeds += 1
+            self.store.clear_live(state.key, index)
+            self.telemetry.record(
+                "seed-finished",
+                key=state.key,
+                index=index,
+                status="ok",
+                attempts=outcome.attempts,
+            )
+            self._record_series(
+                state,
+                "seed",
+                seed_index=index,
+                **self._partial_stats(state),
+            )

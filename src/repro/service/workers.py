@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from ..harness.experiment import fork_context
+from ..obs.telemetry import LiveSeedPublisher
 from .jobs import JobSpec
 from .serialize import sample_to_dict
 
@@ -66,8 +67,16 @@ def _execute_seed(spec: JobSpec, index: int) -> dict:
     return sample_to_dict(spec.run_seed(index))
 
 
-def _seed_worker_main(conn, heartbeat, spec_dict, index) -> None:
-    """Child entry: beat, simulate, send exactly one message."""
+def _seed_worker_main(
+    conn, heartbeat, spec_dict, index, live_path=None, live_interval=0.5
+) -> None:
+    """Child entry: beat, simulate, send exactly one message.
+
+    With ``live_path`` set a :class:`LiveSeedPublisher` thread runs
+    alongside the heartbeat, periodically snapshotting the run the
+    harness publishes (:func:`repro.obs.telemetry.publish_run`) into
+    the store's live directory — the worker half of ``repro watch``.
+    """
     stop = threading.Event()
 
     def beat() -> None:
@@ -76,9 +85,15 @@ def _seed_worker_main(conn, heartbeat, spec_dict, index) -> None:
             stop.wait(BEAT_INTERVAL)
 
     threading.Thread(target=beat, daemon=True).start()
+    publisher = None
+    if live_path is not None and live_interval > 0:
+        publisher = LiveSeedPublisher(live_path, live_interval).start()
     try:
         spec = JobSpec.from_dict(spec_dict)
         sample = _execute_seed(spec, index)
+        if publisher is not None:
+            publisher.stop()  # flush the final snapshot pre-send
+            publisher = None
         conn.send(("ok", sample))
     except BaseException:
         try:
@@ -86,6 +101,8 @@ def _seed_worker_main(conn, heartbeat, spec_dict, index) -> None:
         except (BrokenPipeError, OSError):  # supervisor already gone
             pass
     finally:
+        if publisher is not None:
+            publisher.stop()
         stop.set()
         conn.close()
 
@@ -104,12 +121,20 @@ def run_seed_unit(
     heartbeat_timeout: float = 30.0,
     retries: int = 2,
     on_spawn: Optional[Callable[[int, int], None]] = None,
+    on_beat: Optional[Callable[[int, float], None]] = None,
+    live_path=None,
+    live_interval: float = 0.5,
 ) -> SeedOutcome:
     """Run one seed unit under supervision (blocking).
 
     ``on_spawn(pid, attempt)`` fires after each worker starts — the
     service uses it to publish worker pids (``repro queue``), and the
     crash-recovery tests use it to SIGKILL the worker mid-run.
+    ``on_beat(pid, age)`` fires roughly once per second while the
+    worker's heartbeat is advancing (the service turns these into
+    telemetry ``heartbeat`` events).  ``live_path`` makes the child
+    publish periodic live snapshots there (see
+    :func:`_seed_worker_main`).
     """
     ctx = fork_context()
     if ctx is None:  # pragma: no cover - non-fork platforms
@@ -130,7 +155,14 @@ def run_seed_unit(
         heartbeat = ctx.Value("d", time.monotonic())
         proc = ctx.Process(
             target=_seed_worker_main,
-            args=(child_conn, heartbeat, spec_dict, index),
+            args=(
+                child_conn,
+                heartbeat,
+                spec_dict,
+                index,
+                live_path,
+                live_interval,
+            ),
             daemon=True,
         )
         proc.start()
@@ -143,6 +175,7 @@ def run_seed_unit(
         )
         message = None
         status = "crashed"
+        last_beat_report = time.monotonic()
         try:
             while True:
                 if parent_conn.poll(_POLL_INTERVAL):
@@ -160,6 +193,9 @@ def run_seed_unit(
                             message = None
                     break
                 now = time.monotonic()
+                if on_beat is not None and now - last_beat_report >= 1.0:
+                    last_beat_report = now
+                    on_beat(proc.pid or 0, now - heartbeat.value)
                 if now - heartbeat.value > heartbeat_timeout:
                     status = "stalled"
                     _kill(proc)

@@ -101,3 +101,55 @@ class TestProbeHookMode:
         }
         for series in payload["series"].values():
             assert len(series) == len(payload["cycles"])
+
+
+class TestProbeJsonlStreaming:
+    """Satellite: the probe's streamed JSONL output flushes complete
+    lines per sample, so an interrupted run never leaves torn records."""
+
+    def test_jsonl_rows_match_in_memory_series(self, tmp_path):
+        from repro.analysis.probes import load_probe_jsonl
+
+        path = tmp_path / "probe.jsonl"
+        net = Network(NetworkConfig(), Design.AFC, seed=0)
+        probe = TimeSeriesProbe(net, every=50, jsonl_path=str(path))
+        probe.add("throughput", lambda n: n.stats.throughput)
+        with probe:
+            net.run(300)
+        loaded = load_probe_jsonl(path)
+        assert loaded["cycles"] == probe.cycles
+        assert loaded["series"]["throughput"] == probe.series["throughput"]
+
+    def test_every_line_is_complete_mid_run(self, tmp_path):
+        """Read the file while the probe still holds it open: every
+        line already written must parse — flush-per-sample means a
+        reader (or a crash) never observes a partial record."""
+        import json
+
+        path = tmp_path / "probe.jsonl"
+        net = Network(NetworkConfig(), Design.AFC, seed=0)
+        probe = TimeSeriesProbe(net, every=50, jsonl_path=str(path))
+        probe.add("throughput", lambda n: n.stats.throughput)
+        probe.attach()
+        try:
+            net.run(200)  # mid-run: file open, no close yet
+            lines = path.read_text().splitlines()
+            assert lines, "samples must stream before detach"
+            for line in lines:
+                json.loads(line)  # each line parses on its own
+        finally:
+            probe.detach()
+        assert probe._jsonl_file is None  # detach closed the stream
+
+    def test_torn_tail_is_dropped_by_the_loader(self, tmp_path):
+        from repro.analysis.probes import load_probe_jsonl
+
+        path = tmp_path / "probe.jsonl"
+        path.write_text(
+            '{"cycle":50,"values":{"throughput":0.1}}\n'
+            '{"cycle":100,"values":{"throughput":0.2}}\n'
+            '{"cycle":150,"values":{"thro'  # the torn tail of a kill
+        )
+        loaded = load_probe_jsonl(path)
+        assert loaded["cycles"] == [50, 100]
+        assert loaded["series"]["throughput"] == [0.1, 0.2]

@@ -251,3 +251,47 @@ def test_closed_loop_with_metrics_recovers_bit_identically(tmp_path):
         **FAST,
     ).run_closed_loop(Design.AFC, WORKLOADS["apache"])
     assert results[0]["result"] == result_to_dict(fresh)
+
+
+def test_sigkill_plus_checkpoint_resume_metrics_bit_identical(tmp_path):
+    """The full recovery gauntlet at once: seed 0 is a dead service's
+    leftover checkpoint, seed 1's first worker is SIGKILLed — and the
+    *metrics registry* in the final record must still be bit-identical
+    to an uninterrupted foreground run (the telemetry-plane acceptance
+    criterion: streaming/recovery machinery must never perturb what a
+    job computes)."""
+    spec = JobSpec(
+        kind="closed_loop", workload="apache", seeds=2, metrics=True, **FAST
+    )
+    store = ResultStore(tmp_path)
+    key = spec.key()
+    # The dead service's leftover: seed 0 already checkpointed.
+    store.checkpoint_seed(key, 0, sample_to_dict(spec.run_seed(0)))
+
+    def kill_first(pid: int, attempt: int) -> None:
+        if attempt == 1:
+            os.kill(pid, signal.SIGKILL)
+
+    service = ExperimentService(
+        store, jobs=2, on_worker_spawn=kill_first
+    )
+    results, counters = asyncio.run(drain(service, [spec]))
+    assert counters["seeds_recovered"] == 1
+    assert counters["worker_crashes"] == 1  # only seed 1 ran a worker
+    assert counters["jobs_completed"] == 1
+
+    from repro.obs.hub import ObservabilityOptions
+    from repro.traffic.workloads import WORKLOADS
+
+    fresh = ExperimentRunner(
+        NetworkConfig(3, 3),
+        jobs=1,
+        seeds=2,
+        obs=ObservabilityOptions(metrics=True),
+        **FAST,
+    ).run_closed_loop(Design.AFC, WORKLOADS["apache"])
+    expected = result_to_dict(fresh)
+    assert results[0]["result"] == expected
+    # Explicitly pin the merged registry, not just the whole record.
+    got_metrics = results[0]["result"]["observability"]["metrics"]
+    assert got_metrics == expected["observability"]["metrics"]
